@@ -1,0 +1,54 @@
+// Ablation — what a query costs in wall-clock air time and initiator
+// energy on the packet tier.
+//
+// The abstract figures count queries; this bench runs full backcast
+// exchanges through the radio substrate (12 motes, 2tBins) and reports the
+// real per-session time and energy, tying the paper's query-count axis to
+// physical cost.
+#include "bench/figure_common.hpp"
+#include "core/two_t_bins.hpp"
+#include "group/packet_channel.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 12, kT = 4;
+  const std::size_t trials = opts.trials == 1000 ? 50 : opts.trials;
+
+  SeriesTable table("x");
+  for (std::size_t x = 0; x <= kN; ++x) {
+    RunningStats queries, millis, energy_mj;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      RngStream workload(opts.seed, point_id(105, trial, x));
+      std::vector<bool> positive(kN, false);
+      for (const NodeId id : workload.sample_subset(kN, x))
+        positive[static_cast<std::size_t>(id)] = true;
+      group::PacketChannel::Config cfg;
+      cfg.channel.hack = radio::HackReceptionModel::ideal();
+      cfg.seed = opts.seed + trial;
+      group::PacketChannel ch(positive, cfg);
+      core::EngineOptions eopts;
+      eopts.ordering = core::BinOrdering::kInOrder;
+      const auto out =
+          core::run_two_t_bins(ch, ch.all_nodes(), kT, workload, eopts);
+      queries.add(static_cast<double>(out.queries));
+      millis.add(static_cast<double>(ch.elapsed()) /
+                 static_cast<double>(kMillisecond));
+      energy_mj.add(ch.initiator_energy_mj());
+    }
+    table.set(static_cast<double>(x), "queries", queries.mean());
+    table.set(static_cast<double>(x), "air-time-ms", millis.mean());
+    table.set(static_cast<double>(x), "initiator-mJ", energy_mj.mean());
+  }
+  emit(opts,
+       "Ablation: packet-tier time & energy per session, 2tBins (N=12, t=4)",
+       table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

@@ -1,0 +1,36 @@
+// Ablation — the Exponential Increase variations of Sec. IV-B.
+//
+// The paper reports trying a pause-and-continue scheme and a four-fold
+// growth scheme and finding "neither of them gave a consistent improvement";
+// this bench regenerates that comparison so the claim is checkable.
+#include "bench/figure_common.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kT = 16;
+
+  SeriesTable table("x");
+  const char* algorithms[] = {"expinc", "expinc-pause", "expinc-fourfold",
+                              "2tbins"};
+  std::uint64_t series_id = 0;
+  for (const char* algo : algorithms) {
+    ++series_id;
+    for (const std::size_t x : x_sweep(kN, kT)) {
+      table.set(static_cast<double>(x), algo,
+                mean_queries(opts, algo, group::CollisionModel::kOnePlus, kN,
+                             x, kT, point_id(101, series_id, x)));
+    }
+  }
+  emit(opts,
+       "Ablation: exponential-increase variants (Sec. IV-B), N=128, t=16",
+       table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

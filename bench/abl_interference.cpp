@@ -1,0 +1,107 @@
+// Extension bench — tcast under multihop cross-traffic (the paper's stated
+// future work, Sec. III-B / VII: "deploy ... to get experimental results in
+// a multihop network environment with interfering traffic").
+//
+// Sweeps the foreign-traffic duty cycle and reports, for backcast-based and
+// pollcast-based tcast (2tBins, N = 12, t = 4):
+//   * per-query false-positive and false-negative rates;
+//   * session-level decision accuracy at x = 0 (where pollcast's
+//     interference-induced false positives directly flip the answer) and at
+//     x = 8 (where backcast's collision-induced false negatives bite).
+//
+// Expected shape (Sec. III-B): backcast never false-positives at any duty;
+// its false negatives grow with duty. Pollcast's false-positive rate grows
+// quickly with duty, destroying the x = 0 decision.
+#include "bench/figure_common.hpp"
+#include "core/two_t_bins.hpp"
+#include "group/packet_channel.hpp"
+
+namespace tcast::bench {
+namespace {
+
+struct Point {
+  double query_fp = 0.0;
+  double query_fn = 0.0;
+  double accuracy_x0 = 0.0;
+  double accuracy_x8 = 0.0;
+};
+
+Point measure(const BenchOptions& opts, group::RcdPrimitive primitive,
+              double duty) {
+  constexpr std::size_t kNodes = 12, kT = 4;
+  const std::size_t sessions = opts.trials == 1000 ? 60 : opts.trials;
+  Point point;
+
+  // Per-query rates from dedicated whole-set probes.
+  for (const std::size_t x : {std::size_t{0}, std::size_t{3}}) {
+    group::PacketChannel::Config cfg;
+    cfg.primitive = primitive;
+    cfg.channel.hack = radio::HackReceptionModel::ideal();
+    cfg.interference_duty = duty;
+    cfg.seed = opts.seed + x;
+    std::vector<bool> truth(kNodes, false);
+    for (std::size_t i = 0; i < x; ++i) truth[i] = true;
+    group::PacketChannel ch(truth, cfg);
+    int errors = 0;
+    const int probes = 400;
+    for (int i = 0; i < probes; ++i) {
+      const bool nonempty = ch.query_set(ch.all_nodes()).nonempty();
+      if (nonempty != (x > 0)) ++errors;
+    }
+    (x == 0 ? point.query_fp : point.query_fn) =
+        static_cast<double>(errors) / probes;
+  }
+
+  // Session-level accuracy.
+  for (const std::size_t x : {std::size_t{0}, std::size_t{8}}) {
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < sessions; ++s) {
+      RngStream workload(opts.seed, 5000 + s);
+      std::vector<bool> truth(kNodes, false);
+      for (const NodeId id : workload.sample_subset(kNodes, x))
+        truth[static_cast<std::size_t>(id)] = true;
+      group::PacketChannel::Config cfg;
+      cfg.primitive = primitive;
+      cfg.channel.hack = radio::HackReceptionModel::ideal();
+      cfg.interference_duty = duty;
+      cfg.seed = opts.seed + 77 + s;
+      group::PacketChannel ch(truth, cfg);
+      core::EngineOptions eopts;
+      eopts.ordering = core::BinOrdering::kInOrder;
+      const auto out =
+          core::run_two_t_bins(ch, ch.all_nodes(), kT, workload, eopts);
+      if (out.decision == (x >= kT)) ++correct;
+    }
+    (x == 0 ? point.accuracy_x0 : point.accuracy_x8) =
+        static_cast<double>(correct) / static_cast<double>(sessions);
+  }
+  return point;
+}
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  SeriesTable table("duty%");
+  for (const double duty : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const auto back = measure(opts, group::RcdPrimitive::kBackcast, duty);
+    const auto poll = measure(opts, group::RcdPrimitive::kPollcast, duty);
+    const double key = duty * 100.0;
+    table.set(key, "back-FP", back.query_fp);
+    table.set(key, "back-FN", back.query_fn);
+    table.set(key, "poll-FP", poll.query_fp);
+    table.set(key, "poll-FN", poll.query_fn);
+    table.set(key, "back-acc@x=0", back.accuracy_x0);
+    table.set(key, "poll-acc@x=0", poll.accuracy_x0);
+    table.set(key, "back-acc@x=8", back.accuracy_x8);
+    table.set(key, "poll-acc@x=8", poll.accuracy_x8);
+  }
+  emit(opts,
+       "Extension: tcast under multihop cross-traffic (Sec. III-B), "
+       "N=12, t=4",
+       table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

@@ -1,0 +1,50 @@
+// Ablation — the empty-bins-last accounting (DESIGN.md decision #2).
+//
+// The paper's simulations order bins so non-empty ones come first and early
+// termination skips the rest; a real initiator queries in natural order.
+// This bench quantifies how much of the reported win is accounting: the
+// shapes match, the idealised curve simply sits lower for x ≥ t.
+#include "bench/figure_common.hpp"
+#include "core/two_t_bins.hpp"
+
+namespace tcast::bench {
+namespace {
+
+double mean_with_ordering(const BenchOptions& opts, core::BinOrdering order,
+                          std::size_t n, std::size_t x, std::size_t t,
+                          std::uint64_t id) {
+  MonteCarloConfig mc{.seed = opts.seed, .experiment_id = id,
+                      .trials = opts.trials};
+  return run_trials(mc, [order, n, x, t](RngStream& rng) {
+           auto ch = group::ExactChannel::with_random_positives(n, x, rng);
+           core::EngineOptions eopts;
+           eopts.ordering = order;
+           return static_cast<double>(
+               core::run_two_t_bins(ch, ch.all_nodes(), t, rng, eopts)
+                   .queries);
+         })
+      .mean();
+}
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kT = 16;
+
+  SeriesTable table("x");
+  for (const std::size_t x : x_sweep(kN, kT)) {
+    table.set(static_cast<double>(x), "nonempty-first (paper)",
+              mean_with_ordering(opts, core::BinOrdering::kNonEmptyFirst, kN,
+                                 x, kT, point_id(104, 1, x)));
+    table.set(static_cast<double>(x), "in-order (realistic)",
+              mean_with_ordering(opts, core::BinOrdering::kInOrder, kN, x,
+                                 kT, point_id(104, 2, x)));
+  }
+  emit(opts, "Ablation: bin-ordering accounting, 2tBins (N=128, t=16)",
+       table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

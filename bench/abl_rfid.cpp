@@ -1,0 +1,87 @@
+// Extension bench — tcast on RFID (paper Sec. I/II-C/VII claim).
+//
+// A reader faces a 1024-tag pallet and asks "at least t = 50 tags of this
+// SKU?". Compares, in slots:
+//   * tcast (2tBins and prob-abns) over the Select-mask RCD channel;
+//   * early-stopped Gen2 census over the matching population (the reader
+//     Select pre-filters to the SKU, then inventories until t reads);
+//   * full-pallet Gen2 census (the no-pre-filter worst case).
+//
+// Expected shape: mirror of Fig. 1 — census cost scales with the population
+// it must inventory; tcast scales with t·log(N/t) and is flat for x ≫ t.
+#include "bench/figure_common.hpp"
+#include "core/two_t_bins.hpp"
+#include "rfid/gen2.hpp"
+#include "rfid/rcd_channel.hpp"
+
+namespace tcast::bench {
+namespace {
+
+constexpr rfid::Sku kSku = 7;
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kTotal = 1024, kT = 50;
+  const std::size_t trials = opts.trials == 1000 ? 200 : opts.trials;
+
+  SeriesTable table("matching");
+  for (const std::size_t matching :
+       {0u, 10u, 25u, 40u, 50u, 60u, 80u, 120u, 200u, 400u, 700u, 1024u}) {
+    MonteCarloConfig mc{.seed = opts.seed,
+                        .experiment_id = point_id(106, 1, matching),
+                        .trials = trials};
+    const double tcast_slots =
+        run_trials(mc, [matching](RngStream& rng) {
+          const auto field = rfid::TagField::make(kTotal, matching, kSku, rng);
+          rfid::RcdTagChannel::Config cfg;
+          cfg.sku = kSku;
+          cfg.model = group::CollisionModel::kOnePlus;
+          rfid::RcdTagChannel ch(field, rng, cfg);
+          return static_cast<double>(
+              core::run_two_t_bins(ch, field.all_ids(), kT, rng).queries);
+        }).mean();
+    table.set(static_cast<double>(matching), "tcast-2tbins", tcast_slots);
+
+    mc.experiment_id = point_id(106, 2, matching);
+    const auto* prob = core::find_algorithm("prob-abns");
+    const double prob_slots =
+        run_trials(mc, [matching, prob](RngStream& rng) {
+          const auto field = rfid::TagField::make(kTotal, matching, kSku, rng);
+          rfid::RcdTagChannel::Config cfg;
+          cfg.sku = kSku;
+          cfg.model = group::CollisionModel::kOnePlus;
+          rfid::RcdTagChannel ch(field, rng, cfg);
+          return static_cast<double>(
+              prob->run(ch, field.all_ids(), kT, rng, core::EngineOptions{})
+                  .queries);
+        }).mean();
+    table.set(static_cast<double>(matching), "tcast-prob-abns", prob_slots);
+
+    mc.experiment_id = point_id(106, 3, matching);
+    const double census_slots =
+        run_trials(mc, [matching](RngStream& rng) {
+          return static_cast<double>(
+              rfid::inventory_threshold(matching, kT, rng).slots);
+        }).mean();
+    table.set(static_cast<double>(matching), "census-selected",
+              census_slots);
+
+    mc.experiment_id = point_id(106, 4, matching);
+    const double full_census =
+        run_trials(mc, [](RngStream& rng) {
+          return static_cast<double>(rfid::run_inventory(kTotal, rng).slots);
+        }).mean();
+    table.set(static_cast<double>(matching), "census-full", full_census);
+  }
+
+  emit(opts,
+       "Extension: RFID stock threshold, tcast vs Gen2 census "
+       "(1024 tags, t=50)",
+       table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

@@ -1,0 +1,66 @@
+// Extension bench — counting strategies on RCD queries.
+//
+// When the application needs more than the threshold bit, three options sit
+// on the same primitive at very different price points (all on the exact
+// tier, N = 1024):
+//   * exact count (adaptive binary splitting, O(x log(n/x)));
+//   * approximate count (geometric sampling estimator, O(log n + r));
+//   * threshold only (2tBins at t = 64), the paper's original question.
+// The table reports mean queries and, for the estimator, the mean relative
+// error — quantifying what exactness costs.
+#include <cmath>
+
+#include "bench/figure_common.hpp"
+#include "core/aggregate.hpp"
+#include "core/count_estimation.hpp"
+#include "core/two_t_bins.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 1024, kT = 64;
+  const std::size_t trials = opts.trials == 1000 ? 300 : opts.trials;
+
+  SeriesTable table("x");
+  for (const std::size_t x :
+       {0u, 2u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    MonteCarloConfig mc{.seed = opts.seed,
+                        .experiment_id = point_id(107, 1, x),
+                        .trials = trials};
+    const auto exact = run_multi_trials(
+        mc, 1, [x](RngStream& rng, std::vector<double>& out) {
+          auto ch = group::ExactChannel::with_random_positives(kN, x, rng);
+          out[0] = static_cast<double>(
+              core::run_exact_count(ch, ch.all_nodes(), rng).queries);
+        });
+    table.set(static_cast<double>(x), "exact-count", exact[0].mean());
+
+    mc.experiment_id = point_id(107, 2, x);
+    const auto approx = run_multi_trials(
+        mc, 2, [x](RngStream& rng, std::vector<double>& out) {
+          auto ch = group::ExactChannel::with_random_positives(kN, x, rng);
+          const auto est =
+              core::estimate_positive_count(ch, ch.all_nodes(), rng);
+          out[0] = static_cast<double>(est.queries);
+          out[1] = x == 0 ? std::abs(est.estimate)
+                          : std::abs(est.estimate - static_cast<double>(x)) /
+                                static_cast<double>(x);
+        });
+    table.set(static_cast<double>(x), "estimate", approx[0].mean());
+    table.set(static_cast<double>(x), "est-rel-err", approx[1].mean());
+
+    table.set(static_cast<double>(x), "threshold(t=64)",
+              mean_queries(opts, "2tbins", group::CollisionModel::kOnePlus,
+                           kN, x, kT, point_id(107, 3, x)));
+  }
+  emit(opts,
+       "Extension: counting strategies on RCD queries (N=1024)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

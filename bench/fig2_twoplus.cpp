@@ -1,0 +1,45 @@
+// Figure 2 — "Performance of tcast in 2+ scenario".
+//
+// The same workload as Fig. 1 but contrasting the 1+ and 2+ collision
+// models for both tcast algorithms. The 2+ curves must sit at or below the
+// 1+ curves everywhere, with the largest gain around x ≈ t − 1 where most
+// bins hold exactly one positive node (captured and excluded).
+#include "bench/figure_common.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kT = 16;
+
+  SeriesTable table("x");
+  struct Series {
+    const char* algo;
+    group::CollisionModel model;
+    const char* label;
+  };
+  const Series series[] = {
+      {"2tbins", group::CollisionModel::kOnePlus, "2tbins-1+"},
+      {"2tbins", group::CollisionModel::kTwoPlus, "2tbins-2+"},
+      {"expinc", group::CollisionModel::kOnePlus, "expinc-1+"},
+      {"expinc", group::CollisionModel::kTwoPlus, "expinc-2+"},
+  };
+  std::uint64_t series_id = 0;
+  for (const auto& s : series) {
+    ++series_id;
+    for (const std::size_t x : x_sweep(kN, kT)) {
+      table.set(static_cast<double>(x), s.label,
+                mean_queries(opts, s.algo, s.model, kN, x, kT,
+                             point_id(2, series_id, x)));
+    }
+  }
+
+  emit(opts, "Fig 2: 1+ vs 2+ collision model (N=128, t=16)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

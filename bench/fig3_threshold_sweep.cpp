@@ -1,0 +1,46 @@
+// Figure 3 — "Performance of tcast as threshold changes".
+//
+// x is pinned to 4 positive nodes and the threshold t sweeps the axis; the
+// paper's shape: cost peaks around t ≈ x, declines toward both t → 0 and
+// t → n, and 2+ stays at or below 1+ for every t.
+#include "bench/figure_common.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kX = 4;
+  const std::size_t thresholds[] = {1,  2,  3,  4,  5,  6,  8,  10, 12,
+                                    16, 20, 24, 32, 48, 64, 96, 128};
+
+  SeriesTable table("t");
+  struct Series {
+    const char* algo;
+    group::CollisionModel model;
+    const char* label;
+  };
+  const Series series[] = {
+      {"2tbins", group::CollisionModel::kOnePlus, "2tbins-1+"},
+      {"2tbins", group::CollisionModel::kTwoPlus, "2tbins-2+"},
+      {"expinc", group::CollisionModel::kOnePlus, "expinc-1+"},
+      {"expinc", group::CollisionModel::kTwoPlus, "expinc-2+"},
+  };
+  std::uint64_t series_id = 0;
+  for (const auto& s : series) {
+    ++series_id;
+    for (const std::size_t t : thresholds) {
+      table.set(static_cast<double>(t), s.label,
+                mean_queries(opts, s.algo, s.model, kN, kX, t,
+                             point_id(3, series_id, t)));
+    }
+  }
+
+  emit(opts, "Fig 3: cost vs threshold t (N=128, x=4)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

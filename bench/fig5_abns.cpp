@@ -1,0 +1,35 @@
+// Figure 5 — "Performance of Adaptive Bin Number Selection (ABNS)".
+//
+// ABNS with p0 = t and p0 = 2t against 2tBins and the oracle bin-selection
+// lower bound. Paper shape: 2tBins ≈ oracle for x > t/2; for x ≤ t/2 the
+// gap opens and ABNS (especially with the lower seed) closes part of it,
+// at the cost of some overhead for x ≫ t when seeded low.
+#include "bench/figure_common.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kT = 16;
+
+  SeriesTable table("x");
+  const char* algorithms[] = {"abns:t", "abns:2t", "2tbins", "oracle"};
+  std::uint64_t series_id = 0;
+  for (const char* algo : algorithms) {
+    ++series_id;
+    for (const std::size_t x : x_sweep(kN, kT)) {
+      table.set(static_cast<double>(x), algo,
+                mean_queries(opts, algo, group::CollisionModel::kOnePlus, kN,
+                             x, kT, point_id(5, series_id, x)));
+    }
+  }
+
+  emit(opts, "Fig 5: ABNS vs 2tBins vs oracle (N=128, t=16)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

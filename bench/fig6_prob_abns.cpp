@@ -1,0 +1,36 @@
+// Figure 6 — "Performance of the probabilistic ABNS algorithm".
+//
+// Probabilistic ABNS (one sampling-hint query, then ABNS(t/4) or 2tBins)
+// against the fixed-seed ABNS variants and the oracle. Paper shape: the
+// probabilistic variant tracks the better of ABNS(t)/ABNS(2t) on each side
+// of the axis and runs close to the oracle lower bound throughout.
+#include "bench/figure_common.hpp"
+
+namespace tcast::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  constexpr std::size_t kN = 128, kT = 16;
+
+  SeriesTable table("x");
+  const char* algorithms[] = {"prob-abns", "abns:t", "abns:2t", "2tbins",
+                              "oracle"};
+  std::uint64_t series_id = 0;
+  for (const char* algo : algorithms) {
+    ++series_id;
+    for (const std::size_t x : x_sweep(kN, kT)) {
+      table.set(static_cast<double>(x), algo,
+                mean_queries(opts, algo, group::CollisionModel::kOnePlus, kN,
+                             x, kT, point_id(6, series_id, x)));
+    }
+  }
+
+  emit(opts, "Fig 6: probabilistic ABNS (N=128, t=16)", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace tcast::bench
+
+int main(int argc, char** argv) { return tcast::bench::run(argc, argv); }

@@ -1,0 +1,103 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary prints a banner, the parameters it used, and a
+// SeriesTable holding exactly the series the paper's figure plots. Pass
+// `--csv` to emit machine-readable CSV instead of the aligned table, and
+// `--trials N` to override the per-point Monte-Carlo repeat count (paper
+// default: 1000).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/monte_carlo.hpp"
+#include "common/series.hpp"
+#include "core/registry.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::bench {
+
+struct BenchOptions {
+  bool csv = false;
+  std::size_t trials = 1000;
+  std::uint64_t seed = 0x7ca57ca57ca57ca5ULL;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      opts.csv = true;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      opts.trials = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::stoull(argv[++i]);
+    }
+  }
+  return opts;
+}
+
+inline void emit(const BenchOptions& opts, const std::string& title,
+                 const SeriesTable& table) {
+  if (opts.csv) {
+    table.print_csv(std::cout);
+  } else {
+    print_banner(std::cout, title);
+    table.print(std::cout);
+  }
+}
+
+/// x sweep used by the query-vs-x figures: fine-grained near the threshold
+/// (where the curves peak), coarser in the tails.
+inline std::vector<std::size_t> x_sweep(std::size_t n, std::size_t t) {
+  std::vector<std::size_t> xs;
+  const std::size_t fine_limit = std::min(n, 3 * t);
+  for (std::size_t x = 0; x <= fine_limit; x += (t >= 8 ? 2 : 1))
+    xs.push_back(x);
+  const std::size_t coarse = std::max<std::size_t>(1, n / 16);
+  for (std::size_t x = fine_limit + coarse; x < n; x += coarse)
+    xs.push_back(x);
+  if (xs.empty() || xs.back() != n) xs.push_back(n);
+  return xs;
+}
+
+/// Mean query count of a registry algorithm at one (n, x, t) point on the
+/// exact tier with the paper-simulation accounting.
+inline double mean_queries(const BenchOptions& opts,
+                           const std::string& algorithm,
+                           group::CollisionModel model, std::size_t n,
+                           std::size_t x, std::size_t t,
+                           std::uint64_t experiment_id) {
+  const auto* spec = core::find_algorithm(algorithm);
+  if (spec == nullptr) {
+    std::cerr << "unknown algorithm: " << algorithm << '\n';
+    std::exit(1);
+  }
+  MonteCarloConfig mc;
+  mc.trials = opts.trials;
+  mc.seed = opts.seed;
+  mc.experiment_id = experiment_id;
+  return run_trials(mc, [&spec, model, n, x, t](RngStream& rng) {
+           group::ExactChannel::Config cfg;
+           cfg.model = model;
+           auto channel =
+               group::ExactChannel::with_random_positives(n, x, rng, cfg);
+           const auto nodes = channel.all_nodes();
+           core::EngineOptions eopts;  // paper accounting defaults
+           return static_cast<double>(
+               spec->run(channel, nodes, t, rng, eopts).queries);
+         })
+      .mean();
+}
+
+/// Deterministic experiment-id for a sweep point, namespacing the RNG
+/// streams per (figure, series, x).
+inline std::uint64_t point_id(std::uint64_t figure, std::uint64_t series,
+                              std::uint64_t x) {
+  return figure * 1000000 + series * 10000 + x;
+}
+
+}  // namespace tcast::bench

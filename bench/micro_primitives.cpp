@@ -1,0 +1,81 @@
+// google-benchmark microbenches: per-query/substrate throughput numbers for
+// regression tracking (not figure reproduction).
+#include <benchmark/benchmark.h>
+
+#include "core/two_t_bins.hpp"
+#include "group/binning.hpp"
+#include "group/exact_channel.hpp"
+#include "group/packet_channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast {
+namespace {
+
+void BM_Xoshiro256pp(benchmark::State& state) {
+  RngStream rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.bits());
+}
+BENCHMARK(BM_Xoshiro256pp);
+
+void BM_RandomEqualBinning(benchmark::State& state) {
+  RngStream rng(1);
+  std::vector<NodeId> nodes(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i] = static_cast<NodeId>(i);
+  for (auto _ : state) {
+    auto a = group::BinAssignment::random_equal(nodes, 32, rng);
+    benchmark::DoNotOptimize(a.bin_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nodes.size()));
+}
+BENCHMARK(BM_RandomEqualBinning)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ExactChannelQuery(benchmark::State& state) {
+  RngStream rng(1);
+  auto ch = group::ExactChannel::with_random_positives(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) / 8, rng);
+  const auto nodes = ch.all_nodes();
+  for (auto _ : state) benchmark::DoNotOptimize(ch.query_set(nodes));
+}
+BENCHMARK(BM_ExactChannelQuery)->Arg(128)->Arg(1024);
+
+void BM_TwoTBinsSessionExactTier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    RngStream rng(1, salt++);
+    auto ch = group::ExactChannel::with_random_positives(n, n / 8, rng);
+    benchmark::DoNotOptimize(
+        core::run_two_t_bins(ch, ch.all_nodes(), 16, rng));
+  }
+}
+BENCHMARK(BM_TwoTBinsSessionExactTier)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(i, [] {});
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_BackcastQueryPacketTier(benchmark::State& state) {
+  std::vector<bool> positive(12, false);
+  positive[3] = positive[7] = true;
+  group::PacketChannel::Config cfg;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  group::PacketChannel ch(positive, cfg);
+  const auto nodes = ch.all_nodes();
+  for (auto _ : state) benchmark::DoNotOptimize(ch.query_set(nodes));
+}
+BENCHMARK(BM_BackcastQueryPacketTier);
+
+}  // namespace
+}  // namespace tcast
+
+BENCHMARK_MAIN();

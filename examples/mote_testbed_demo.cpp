@@ -1,0 +1,50 @@
+// Drive the emulated TelosB bench exactly like the paper's laptop did
+// (Sec. IV-D): configure motes over serial, stimulate the initiator, and
+// collect results — through real backcast exchanges with radio
+// irregularity, not the abstract channel.
+#include <cstdio>
+
+#include "testbed/controller.hpp"
+
+int main() {
+  using namespace tcast;
+
+  testbed::Testbed::Config cfg;
+  cfg.participants = 12;
+  cfg.seed = 42;
+  testbed::Testbed bench(cfg);
+
+  std::printf("emulated bench: 1 initiator + %zu TelosB participants\n\n",
+              bench.participant_count());
+
+  RngStream workload(3);
+  std::printf("%4s %4s %8s %8s %8s %10s\n", "t", "x", "answer", "truth",
+              "queries", "sim-time");
+  for (const std::size_t t : {2u, 4u, 6u}) {
+    for (const std::size_t x : {1u, 4u, 8u, 12u}) {
+      bench.reboot_all();
+      std::vector<bool> positive(bench.participant_count(), false);
+      for (const NodeId id :
+           workload.sample_subset(bench.participant_count(), x))
+        positive[static_cast<std::size_t>(id)] = true;
+      bench.configure_predicates(positive);
+
+      const auto start = bench.simulator().now();
+      const auto result = bench.run_query(t);
+      const auto elapsed_ms =
+          static_cast<double>(bench.simulator().now() - start) /
+          static_cast<double>(kMillisecond);
+      std::printf("%4zu %4zu %8s %8s %8llu %8.1fms\n", t, x,
+                  result.outcome.decision ? "yes" : "no",
+                  result.truth ? "yes" : "no",
+                  static_cast<unsigned long long>(result.outcome.queries),
+                  elapsed_ms);
+    }
+  }
+
+  std::printf(
+      "\neach query is a full backcast exchange: predicate broadcast,\n"
+      "ephemeral-address poll, superposed hardware ACKs — with the\n"
+      "calibrated 3.5%%/HACK false-negative model of the real radios.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Multihop deployment demo (the paper's future-work setting, Sec. III-B /
+// VII): a singlehop sensing cell answering threshold queries while a
+// neighbouring region's traffic leaks into the channel.
+//
+// Geometry (metres, unit-disk range 30):
+//
+//        participants on a 10 m circle          foreign transmitter
+//              around the initiator             of the next region
+//                     o o o
+//                    o  I  o  . . . . . . . . . . .  J (at distance D)
+//                     o o o
+//
+// The demo runs 2tBins sessions at several separations D and shows how the
+// interference-induced false negatives fade with distance — and that no
+// amount of foreign traffic ever produces a false POSITIVE, backcast's
+// headline robustness property.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/two_t_bins.hpp"
+#include "group/packet_channel.hpp"
+
+int main() {
+  using namespace tcast;
+  constexpr std::size_t kNodes = 12, kT = 4;
+  constexpr std::size_t kSessions = 40;
+
+  std::printf(
+      "multihop cell: %zu motes (radius 10m), range 30m, foreign traffic at "
+      "25%% duty\n\n",
+      kNodes);
+  std::printf("%6s %14s %14s %16s\n", "D (m)", "acc (x=8>=t)", "acc (x=0<t)",
+              "false positives");
+
+  for (const double d : {5.0, 15.0, 25.0, 35.0, 60.0}) {
+    std::size_t correct_high = 0, correct_low = 0, false_pos = 0;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      for (const std::size_t x : {std::size_t{8}, std::size_t{0}}) {
+        RngStream workload(2026, 100 * s + x);
+        std::vector<bool> truth(kNodes, false);
+        for (const NodeId id : workload.sample_subset(kNodes, x))
+          truth[static_cast<std::size_t>(id)] = true;
+
+        group::PacketChannel::Config cfg;
+        cfg.channel.hack = radio::HackReceptionModel::ideal();
+        cfg.channel.range = 30.0;
+        cfg.seed = 55 + s;
+        cfg.interference_duty = 0.25;
+        cfg.interferer_pos = {d, 0.0};
+        for (std::size_t i = 0; i < kNodes; ++i) {
+          const double a =
+              2.0 * 3.14159265358979 * static_cast<double>(i) / kNodes;
+          cfg.participant_positions.emplace_back(10.0 * std::cos(a),
+                                                 10.0 * std::sin(a));
+        }
+        group::PacketChannel ch(truth, cfg);
+        core::EngineOptions opts;
+        opts.ordering = core::BinOrdering::kInOrder;
+        const auto out =
+            core::run_two_t_bins(ch, ch.all_nodes(), kT, workload, opts);
+        if (x >= kT) {
+          if (out.decision) ++correct_high;
+        } else {
+          if (!out.decision)
+            ++correct_low;
+          else
+            ++false_pos;
+        }
+      }
+    }
+    std::printf("%6.0f %13.0f%% %13.0f%% %16zu\n", d,
+                100.0 * static_cast<double>(correct_high) / kSessions,
+                100.0 * static_cast<double>(correct_low) / kSessions,
+                false_pos);
+  }
+
+  std::printf(
+      "\nfalse negatives fade as the foreign region moves out of range;\n"
+      "false positives are structurally impossible for backcast-based "
+      "tcast.\n");
+  return 0;
+}

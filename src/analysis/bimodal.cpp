@@ -1,0 +1,43 @@
+#include "analysis/bimodal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcast::analysis {
+
+BimodalDistribution BimodalDistribution::symmetric(std::size_t n, double d,
+                                                   double sigma) {
+  TCAST_CHECK(d >= 0.0);
+  BimodalDistribution dist;
+  const double center = static_cast<double>(n) / 2.0;
+  dist.mu1 = center - d;
+  dist.mu2 = center + d;
+  dist.sigma1 = sigma;
+  dist.sigma2 = sigma;
+  dist.weight_low = 0.5;
+  return dist;
+}
+
+std::pair<double, double> BimodalDistribution::decision_boundaries() const {
+  double lo = t_l();
+  double hi = t_r();
+  if (hi <= lo) {
+    const double mid = (mu1 + mu2) / 2.0;
+    lo = mid - 0.5;
+    hi = mid + 0.5;
+  }
+  return {lo, hi};
+}
+
+BimodalDistribution::Sample BimodalDistribution::sample(
+    std::size_t n, RngStream& rng) const {
+  const bool high = !rng.bernoulli(weight_low);
+  const double raw = high ? rng.normal(mu2, sigma2) : rng.normal(mu1, sigma1);
+  const double clamped =
+      std::clamp(std::round(raw), 0.0, static_cast<double>(n));
+  return Sample{static_cast<std::size_t>(clamped), high};
+}
+
+}  // namespace tcast::analysis

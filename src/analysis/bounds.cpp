@@ -1,0 +1,52 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcast::analysis {
+
+double two_t_bins_upper_bound(std::size_t n, std::size_t t) {
+  TCAST_CHECK(t >= 1);
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t);
+  const double rounds = std::max(1.0, std::log2(nd / (2.0 * td)));
+  return 2.0 * td * rounds;
+}
+
+double threshold_query_lower_bound(std::size_t n, std::size_t t) {
+  TCAST_CHECK(t >= 1);
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t);
+  if (n <= t) return 0.0;
+  const double logt = std::max(1.0, std::log2(td));
+  return td * std::max(0.0, std::log2(nd / td)) / logt;
+}
+
+double two_t_bins_zero_x_cost(std::size_t n, std::size_t t) {
+  TCAST_CHECK(t >= 1);
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t);
+  if (nd <= td) return 0.0;
+  return (nd - td) / (nd / (2.0 * td));
+}
+
+double oracle_bin_count(std::size_t n, std::size_t t, std::size_t x) {
+  TCAST_CHECK(t >= 1);
+  TCAST_CHECK(x <= n);
+  const double nd = static_cast<double>(n);
+  const double td = static_cast<double>(t);
+  const double xd = static_cast<double>(x);
+  double b;
+  if (xd <= td / 2.0) {
+    b = xd + 1.0;
+  } else if (xd <= td) {
+    b = 3.0 * xd - td;
+  } else {
+    b = td * (1.0 + (nd - xd) / (nd - td + 1.0));
+  }
+  return std::max(1.0, b);
+}
+
+}  // namespace tcast::analysis

@@ -1,0 +1,29 @@
+// Query-cost bounds from the paper and its companion theory ([4], k+
+// decision trees).
+#pragma once
+
+#include <cstddef>
+
+namespace tcast::analysis {
+
+/// Upper bound on 2tBins queries: 2t · log2(N / 2t) (Sec. IV-A), clamped to
+/// at least one round of 2t queries. N = participants, t = threshold.
+double two_t_bins_upper_bound(std::size_t n, std::size_t t);
+
+/// Aspnes et al. lower bound Ω(t · log(N/t) / log t) — the constant-free
+/// shape, used to sanity-check measured averages stay above trivial floors.
+double threshold_query_lower_bound(std::size_t n, std::size_t t);
+
+/// Paper Sec. IV-C closed form for the x = 0 cost of 2tBins:
+/// (n − t) / (n / 2t) — the number of (empty) bins that must be disposed
+/// before fewer than t candidates remain.
+double two_t_bins_zero_x_cost(std::size_t n, std::size_t t);
+
+/// Oracle bin count b(x) (Sec. V-C) — the piecewise interpolation defining
+/// the lower-bound "oracle" algorithm:
+///   b = x + 1                       for x ≤ t/2
+///   b = 3x − t                      for t/2 < x ≤ t
+///   b = t · (1 + (n−x)/(n−t+1))     for x > t
+double oracle_bin_count(std::size_t n, std::size_t t, std::size_t x);
+
+}  // namespace tcast::analysis

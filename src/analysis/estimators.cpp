@@ -1,0 +1,39 @@
+#include "analysis/estimators.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcast::analysis {
+
+double expected_eliminated_per_query(std::size_t n, std::size_t p, double b) {
+  TCAST_CHECK(b >= 1.0);
+  return std::pow(1.0 - 1.0 / b, static_cast<double>(p)) *
+         (static_cast<double>(n) / b);
+}
+
+std::size_t optimal_bin_count(std::size_t p) { return p + 1; }
+
+double expected_empty_bins(std::size_t b, double p) {
+  TCAST_CHECK(b >= 1);
+  const double bd = static_cast<double>(b);
+  return std::pow(1.0 - 1.0 / bd, p) * bd;
+}
+
+double estimate_p(std::size_t empty_bins, std::size_t b,
+                  double all_full_fallback) {
+  TCAST_CHECK(b >= 1);
+  TCAST_CHECK(empty_bins <= b);
+  if (b == 1 || empty_bins == 0) return all_full_fallback;
+  if (empty_bins == b) return 0.0;
+  const double bd = static_cast<double>(b);
+  const double e = static_cast<double>(empty_bins);
+  return (std::log(e) - std::log(bd)) / std::log(1.0 - 1.0 / bd);
+}
+
+double nonempty_probability(double b, double x) {
+  TCAST_CHECK(b >= 1.0);
+  return 1.0 - std::pow(1.0 - 1.0 / b, x);
+}
+
+}  // namespace tcast::analysis

@@ -1,0 +1,37 @@
+// Closed-form estimators from Sec. V-A of the paper.
+#pragma once
+
+#include <cstddef>
+
+namespace tcast::analysis {
+
+/// Eq. (2): g(b) = (1 − 1/b)^p · n/b — the expected number of nodes
+/// eliminated by one query when p positives are spread over b bins of n/b
+/// nodes. The quantity the optimal bin count maximises.
+double expected_eliminated_per_query(std::size_t n, std::size_t p, double b);
+
+/// Eq. (4): argmax_b g(b) = p + 1. Valid for p < t (the paper's own note);
+/// callers clamp to [2, n].
+std::size_t optimal_bin_count(std::size_t p);
+
+/// Eq. (5): expected number of empty bins, e = (1 − 1/b)^p · b.
+double expected_empty_bins(std::size_t b, double p);
+
+/// Eq. (6): inverts Eq. (5) — estimates p from the observed number of empty
+/// bins e_real in a round with b bins:
+///     p = (log e_real − log b) / log(1 − 1/b)
+/// Guards (the paper leaves these implicit):
+///   e_real == 0 → no information upward; returns `all_full_fallback`
+///                 (ABNS uses max(2b, 2p_prev)).
+///   e_real == b → p = 0.
+///   b == 1      → a single bin carries no count information; returns the
+///                 fallback.
+double estimate_p(std::size_t empty_bins, std::size_t b,
+                  double all_full_fallback);
+
+/// Probability that one specific bin out of b is non-empty when x positives
+/// are placed independently: 1 − (1 − 1/b)^x. (Sec. VI system model; exact
+/// for the Bernoulli sampling bin with inclusion probability 1/b.)
+double nonempty_probability(double b, double x);
+
+}  // namespace tcast::analysis

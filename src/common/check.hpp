@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// TCAST_CHECK is always on (cheap conditions on API boundaries);
+// TCAST_DCHECK compiles out in NDEBUG builds (hot-path invariants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcast::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "TCAST_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace tcast::detail
+
+#define TCAST_CHECK(expr)                                          \
+  do {                                                             \
+    if (!(expr))                                                   \
+      ::tcast::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TCAST_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::tcast::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TCAST_DCHECK(expr) ((void)0)
+#else
+#define TCAST_DCHECK(expr) TCAST_CHECK(expr)
+#endif

@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace tcast {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  TCAST_CHECK(hi > lo);
+  TCAST_CHECK(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / bin_width_));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width_;
+}
+
+double Histogram::density(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  TCAST_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ <= 0.0) return lo_;
+  const double target = q * total_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] >= target) {
+      const double frac =
+          counts_[i] > 0.0 ? (target - cum) / counts_[i] : 0.0;
+      return bin_lo(i) + frac * bin_width_;
+    }
+    cum += counts_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char head[96];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(head, sizeof head, "[%8.2f, %8.2f) %8.0f |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += head;
+    const std::size_t bar =
+        peak > 0.0 ? static_cast<std::size_t>(std::lround(
+                         counts_[i] / peak * static_cast<double>(width)))
+                   : 0;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tcast

@@ -1,0 +1,42 @@
+// Monte-Carlo trial driver.
+//
+// Every figure in the paper is "average of 1000 runs" at each sweep point;
+// this driver owns that loop: per-trial independent RNG streams (bit-exact
+// results regardless of thread count), parallel fan-out, and merged stats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tcast {
+
+struct MonteCarloConfig {
+  std::uint64_t seed = 0x7ca57ca57ca57ca5ULL;  ///< root seed
+  std::uint64_t experiment_id = 0;  ///< namespaces streams between sweeps
+  std::size_t trials = 1000;        ///< paper default: 1000 runs/point
+  ThreadPool* pool = nullptr;       ///< nullptr = global pool
+};
+
+/// Runs cfg.trials independent trials of `trial(rng)` and returns merged
+/// statistics of the returned metric.
+RunningStats run_trials(const MonteCarloConfig& cfg,
+                        const std::function<double(RngStream&)>& trial);
+
+/// Boolean-outcome variant (accuracy experiments, Fig. 9/10).
+Proportion run_bool_trials(const MonteCarloConfig& cfg,
+                           const std::function<bool(RngStream&)>& trial);
+
+/// Multi-metric variant: the trial fills `out` (size = metric count); the
+/// driver returns one RunningStats per metric. Used when a single simulated
+/// run yields several figure series (e.g. queries and rounds).
+std::vector<RunningStats> run_multi_trials(
+    const MonteCarloConfig& cfg, std::size_t metrics,
+    const std::function<void(RngStream&, std::vector<double>& out)>& trial);
+
+}  // namespace tcast

@@ -1,0 +1,86 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcast {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    TCAST_CHECK_MSG(!stop_, "submit on a stopped pool");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  const std::size_t workers = pool->worker_count();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    pool->submit([&body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace tcast

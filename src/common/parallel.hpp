@@ -1,0 +1,58 @@
+// Minimal thread pool + parallel_for for Monte-Carlo fan-out.
+//
+// The experiments are embarrassingly parallel across trials: each trial owns
+// an independent RNG stream, so results are bit-identical regardless of the
+// worker count (including 1). The pool uses static chunking — trials are
+// near-uniform cost, so work stealing would buy nothing here.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcast {
+
+/// Fixed-size worker pool. Tasks are void() closures.
+class ThreadPool {
+ public:
+  /// `workers == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues a task; tasks may not enqueue further tasks and then block on
+  /// them (no nested-wait support — not needed for trial fan-out).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs body(i) for i in [0, n), chunked across the pool. Blocks until done.
+/// body must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace tcast

@@ -1,0 +1,12 @@
+#include "common/rng.hpp"
+
+namespace tcast {
+
+std::uint64_t trial_stream_id(std::uint64_t experiment_id,
+                              std::uint64_t trial) {
+  // Mix so that (experiment, trial) pairs land far apart in stream space.
+  SplitMix64 sm(experiment_id * 0xd1342543de82ef95ULL + trial);
+  return sm.next();
+}
+
+}  // namespace tcast

@@ -1,0 +1,189 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Design:
+//  * `SplitMix64` — tiny stateless-seeding generator, used only to expand a
+//    user seed into generator state (the construction recommended by the
+//    xoshiro authors).
+//  * `Xoshiro256pp` — xoshiro256++ 1.0 (Blackman & Vigna), the workhorse
+//    engine. Satisfies std::uniform_random_bit_generator so it plugs into
+//    <random> distributions.
+//  * `RngStream` — a convenience wrapper bundling an engine with the common
+//    sampling operations the simulators need (uniform ints/reals, normals,
+//    Bernoulli, Fisher-Yates shuffle, subset sampling).
+//
+// Stream independence: `RngStream(seed, stream)` hashes (seed, stream) through
+// SplitMix64 into a fresh 256-bit state, so every Monte-Carlo trial and every
+// simulated node can own a statistically independent stream while the whole
+// experiment stays a pure function of one root seed.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tcast {
+
+/// SplitMix64: used for state expansion / hashing seeds, not as a main engine.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0. Public domain algorithm by David Blackman and
+/// Sebastiano Vigna; reimplemented here for hermetic builds.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds state via SplitMix64 expansion of (seed, stream).
+  explicit Xoshiro256pp(std::uint64_t seed, std::uint64_t stream = 0) {
+    SplitMix64 sm(seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    for (auto& s : state_) s = sm.next();
+    // All-zero state is invalid; SplitMix64 cannot emit 4 zeros for any seed,
+    // but keep the guard for documentation value.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+      state_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// An independent random stream plus the sampling toolkit used across the
+/// simulators. Cheap to copy; copying forks the stream deterministically.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed, std::uint64_t stream = 0)
+      : engine_(seed, stream) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return engine_(); }
+
+  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    TCAST_CHECK(bound > 0);
+    // Rejection-free path is fine statistically for bound << 2^64; use
+    // classic rejection to stay exactly unbiased.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = engine_();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    TCAST_CHECK(lo <= hi);
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(range == 0 ? engine_()
+                                                     : uniform_below(range));
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    TCAST_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) {
+    TCAST_DCHECK(p >= 0.0 && p <= 1.0);
+    return uniform01() < p;
+  }
+
+  /// Standard normal via Box-Muller (no state caching: simple & deterministic).
+  double normal() {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793238462643383279502884 * u2);
+  }
+
+  double normal(double mean, double stddev) {
+    TCAST_CHECK(stddev >= 0.0);
+    return mean + stddev * normal();
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Draws a uniformly random k-subset of [0, n) (IDs, sorted ascending).
+  std::vector<NodeId> sample_subset(std::size_t n, std::size_t k) {
+    TCAST_CHECK(k <= n);
+    std::vector<NodeId> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = static_cast<NodeId>(i);
+    // Partial Fisher-Yates: first k entries become the sample.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(uniform_below(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    std::sort(pool.begin(), pool.end());
+    return pool;
+  }
+
+  /// Access the raw engine for <random> distributions.
+  Xoshiro256pp& engine() { return engine_; }
+
+ private:
+  Xoshiro256pp engine_;
+};
+
+/// Derives the per-trial stream id used by the Monte-Carlo driver, kept in
+/// one place so tests can reproduce individual trials.
+std::uint64_t trial_stream_id(std::uint64_t experiment_id, std::uint64_t trial);
+
+}  // namespace tcast

@@ -1,0 +1,100 @@
+#include "common/series.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace tcast {
+
+std::size_t SeriesTable::series(const std::string& name) {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it != names_.end())
+    return static_cast<std::size_t>(it - names_.begin());
+  names_.push_back(name);
+  for (auto& [x, row] : rows_) row.resize(names_.size());
+  return names_.size() - 1;
+}
+
+void SeriesTable::set(double x, const std::string& name, double value) {
+  const std::size_t col = series(name);
+  auto& row = rows_[x];
+  row.resize(names_.size());
+  row[col] = value;
+}
+
+std::vector<double> SeriesTable::axis() const {
+  std::vector<double> xs;
+  xs.reserve(rows_.size());
+  for (const auto& [x, row] : rows_) xs.push_back(x);
+  return xs;
+}
+
+std::optional<double> SeriesTable::at(double x,
+                                      const std::string& name) const {
+  const auto it = rows_.find(x);
+  if (it == rows_.end()) return std::nullopt;
+  const auto col = std::find(names_.begin(), names_.end(), name);
+  if (col == names_.end()) return std::nullopt;
+  const auto idx = static_cast<std::size_t>(col - names_.begin());
+  return idx < it->second.size() ? it->second[idx] : std::nullopt;
+}
+
+namespace {
+std::string fmt_num(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+void SeriesTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  widths.push_back(x_label_.size());
+  for (const auto& n : names_) widths.push_back(n.size());
+  for (const auto& [x, row] : rows_) {
+    widths[0] = std::max(widths[0], fmt_num(x).size());
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      const std::string cell =
+          (c < row.size() && row[c]) ? fmt_num(*row[c]) : "-";
+      widths[c + 1] = std::max(widths[c + 1], cell.size());
+    }
+  }
+  os << std::setw(static_cast<int>(widths[0])) << x_label_;
+  for (std::size_t c = 0; c < names_.size(); ++c)
+    os << "  " << std::setw(static_cast<int>(widths[c + 1])) << names_[c];
+  os << '\n';
+  for (const auto& [x, row] : rows_) {
+    os << std::setw(static_cast<int>(widths[0])) << fmt_num(x);
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      const std::string cell =
+          (c < row.size() && row[c]) ? fmt_num(*row[c]) : "-";
+      os << "  " << std::setw(static_cast<int>(widths[c + 1])) << cell;
+    }
+    os << '\n';
+  }
+}
+
+void SeriesTable::print_csv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& n : names_) os << ',' << n;
+  os << '\n';
+  for (const auto& [x, row] : rows_) {
+    os << fmt_num(x);
+    for (std::size_t c = 0; c < names_.size(); ++c) {
+      os << ',';
+      if (c < row.size() && row[c]) os << fmt_num(*row[c]);
+    }
+    os << '\n';
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace tcast

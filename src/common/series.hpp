@@ -1,0 +1,50 @@
+// SeriesTable: the output format of every figure-reproduction bench.
+//
+// A table has one x-axis column plus named series columns; rows are keyed by
+// x. Benches fill it and print either an aligned human table or CSV, so the
+// same binary serves eyeballing and plotting.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcast {
+
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string x_label) : x_label_(std::move(x_label)) {}
+
+  /// Declares a series column (idempotent); returns its index.
+  std::size_t series(const std::string& name);
+
+  /// Sets the value of `name` at axis position x.
+  void set(double x, const std::string& name, double value);
+
+  /// All x positions, ascending.
+  std::vector<double> axis() const;
+
+  /// Value at (x, name) if present.
+  std::optional<double> at(double x, const std::string& name) const;
+
+  const std::vector<std::string>& series_names() const { return names_; }
+  const std::string& x_label() const { return x_label_; }
+
+  /// Aligned, human-readable table.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (header row, '.' decimal point, blank for missing).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> names_;
+  std::map<double, std::vector<std::optional<double>>> rows_;
+};
+
+/// Prints a section banner used by the benches ("== Fig 1: ... ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace tcast

@@ -1,0 +1,59 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tcast {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  return n_ >= 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+std::string RunningStats::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "mean=%.4g sd=%.4g n=%zu [%.4g, %.4g]",
+                mean(), stddev(), n_, min(), max());
+  return buf;
+}
+
+double Proportion::half_width95() const {
+  if (n_ == 0) return 0.0;
+  const double p = value();
+  const double n = static_cast<double>(n_);
+  return 1.959963984540054 * std::sqrt(std::max(p * (1.0 - p), 0.0) / n);
+}
+
+}  // namespace tcast

@@ -1,0 +1,62 @@
+// Online statistics (Welford) and summaries for Monte-Carlo aggregation.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace tcast {
+
+/// Numerically stable running mean / variance / min / max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Human-readable one-liner ("mean=12.3 sd=4.5 n=1000 [2, 40]").
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fraction estimator with a normal-approximation confidence half-width.
+class Proportion {
+ public:
+  void add(bool success) {
+    ++n_;
+    if (success) ++successes_;
+  }
+
+  std::size_t trials() const { return n_; }
+  std::size_t successes() const { return successes_; }
+  double value() const {
+    return n_ ? static_cast<double>(successes_) / static_cast<double>(n_)
+              : 0.0;
+  }
+  /// 95% normal-approximation half-width.
+  double half_width95() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace tcast

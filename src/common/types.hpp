@@ -1,0 +1,29 @@
+// Fundamental vocabulary types shared by every tcast subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace tcast {
+
+/// Identifier of a participant node (mote). Dense, 0-based. The initiator is
+/// not a participant and has no NodeId; subsystems that need to address it on
+/// the air use radio short addresses instead.
+using NodeId = std::uint32_t;
+
+/// Sentinel "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time in microseconds. 64 bits give ~292k years of sim time.
+using SimTime = std::int64_t;
+
+/// One microsecond / millisecond / second in SimTime units.
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Count of RCD queries (the paper's cost unit).
+using QueryCount = std::uint64_t;
+
+}  // namespace tcast

@@ -1,0 +1,51 @@
+#include "core/abns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/estimators.hpp"
+#include "common/check.hpp"
+
+namespace tcast::core {
+
+AbnsPolicy::AbnsPolicy(AbnsOptions opts) : p_(opts.p0) {
+  TCAST_CHECK(opts.p0 >= 0.0);
+}
+
+std::size_t AbnsPolicy::bins_from_estimate(double p) {
+  // b_i = p_i + 1 (Alg. 3 line 6); the engine clamps to the candidate count.
+  return static_cast<std::size_t>(std::llround(std::max(0.0, p))) + 1;
+}
+
+std::size_t AbnsPolicy::initial_bins(std::span<const NodeId> candidates,
+                                     std::size_t threshold) {
+  (void)candidates;
+  if (p_ <= 0.0) p_ = 2.0 * static_cast<double>(threshold);  // paper default
+  return bins_from_estimate(p_);
+}
+
+std::size_t AbnsPolicy::next_bins(const RoundStats& stats,
+                                  std::span<const NodeId> candidates) {
+  (void)candidates;
+  // Eq. 6 with the all-full guard: zero empty bins means p was a (possibly
+  // gross) underestimate — grow it multiplicatively (DESIGN.md decision #4).
+  const double fallback =
+      std::max(2.0 * static_cast<double>(stats.bins), 2.0 * std::max(p_, 1.0));
+  p_ = analysis::estimate_p(stats.empty_bins, stats.bins, fallback);
+  // The estimate tracks survivors: captured positives are no longer among
+  // the candidates, so they leave the estimate too.
+  p_ = std::max(0.0, p_ - static_cast<double>(stats.captured));
+  return bins_from_estimate(p_);
+}
+
+ThresholdOutcome run_abns(group::QueryChannel& channel,
+                          std::span<const NodeId> participants, std::size_t t,
+                          RngStream& rng, AbnsOptions abns,
+                          const EngineOptions& opts) {
+  if (abns.p0 <= 0.0) abns.p0 = 2.0 * static_cast<double>(t);
+  AbnsPolicy policy(abns);
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,41 @@
+// Algorithm 3: Adaptive Bin Number Selection (ABNS).
+//
+// Maintains a running estimate p of the positive count: each round uses
+// b = p + 1 bins (the Eq.-4 optimum), then refines p from the observed
+// number of empty bins via Eq. 6. The initial estimate p0 is the knob the
+// paper studies (p0 = t vs p0 = 2t, Fig. 5) and what Probabilistic ABNS
+// improves with a one-query sampling hint.
+#pragma once
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+struct AbnsOptions {
+  double p0 = 0.0;  ///< initial estimate of x; callers pass t or 2t
+};
+
+class AbnsPolicy final : public BinCountPolicy {
+ public:
+  explicit AbnsPolicy(AbnsOptions opts);
+
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+
+  double current_estimate() const { return p_; }
+
+ private:
+  static std::size_t bins_from_estimate(double p);
+
+  double p_;
+};
+
+/// Runs ABNS with initial estimate opts.p0 (defaulting to 2t when 0).
+ThresholdOutcome run_abns(group::QueryChannel& channel,
+                          std::span<const NodeId> participants, std::size_t t,
+                          RngStream& rng, AbnsOptions abns = {},
+                          const EngineOptions& opts = {});
+
+}  // namespace tcast::core

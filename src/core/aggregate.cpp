@@ -1,0 +1,112 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+
+namespace tcast::core {
+
+ExactCountOutcome run_exact_count(group::QueryChannel& channel,
+                                  std::span<const NodeId> participants,
+                                  RngStream& rng) {
+  ExactCountOutcome out;
+  const QueryCount start = channel.queries_used();
+  if (participants.empty()) return out;
+
+  // Shuffle once so contiguous segments are uniform random subsets.
+  std::vector<NodeId> pool(participants.begin(), participants.end());
+  rng.shuffle(pool);
+
+  // Explicit stack of [lo, hi) segments of `pool`.
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  stack.emplace_back(0, pool.size());
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    TCAST_DCHECK(lo < hi);
+    const std::span<const NodeId> segment(pool.data() + lo, hi - lo);
+    const auto result = channel.query_set(segment);
+    switch (result.kind) {
+      case group::BinQueryResult::Kind::kEmpty:
+        break;  // whole subtree discarded
+      case group::BinQueryResult::Kind::kCaptured: {
+        // One positive identified; the rest of the segment is unresolved
+        // unless it was a singleton.
+        ++out.count;
+        ++out.identified;
+        if (hi - lo > 1) {
+          // Re-scan the segment minus the captured node: compact it to the
+          // front of the range and recurse on the remainder.
+          auto it = std::find(pool.begin() + static_cast<std::ptrdiff_t>(lo),
+                              pool.begin() + static_cast<std::ptrdiff_t>(hi),
+                              result.captured);
+          TCAST_CHECK(it !=
+                      pool.begin() + static_cast<std::ptrdiff_t>(hi));
+          std::swap(*it, pool[hi - 1]);
+          stack.emplace_back(lo, hi - 1);
+        }
+        break;
+      }
+      case group::BinQueryResult::Kind::kActivity: {
+        if (hi - lo == 1) {
+          ++out.count;  // a singleton's activity IS the answer
+          break;
+        }
+        const std::size_t mid = lo + (hi - lo) / 2;
+        stack.emplace_back(lo, mid);
+        stack.emplace_back(mid, hi);
+        break;
+      }
+    }
+  }
+  out.queries = channel.queries_used() - start;
+  return out;
+}
+
+SymmetricOutcome run_symmetric_query(
+    group::QueryChannel& channel, std::span<const NodeId> participants,
+    const std::function<bool(std::size_t)>& f, RngStream& rng,
+    std::string_view algorithm, const EngineOptions& opts) {
+  TCAST_CHECK(f != nullptr);
+  const auto* spec = find_algorithm(algorithm);
+  TCAST_CHECK_MSG(spec != nullptr, "unknown tcast algorithm name");
+
+  SymmetricOutcome out;
+  const QueryCount start = channel.queries_used();
+  std::size_t lo = 0;
+  std::size_t hi = participants.size();
+
+  const auto constant_on_range = [&]() -> std::optional<bool> {
+    const bool first = f(lo);
+    for (std::size_t v = lo + 1; v <= hi; ++v)
+      if (f(v) != first) return std::nullopt;
+    return first;
+  };
+
+  for (;;) {
+    if (const auto value = constant_on_range()) {
+      out.value = *value;
+      break;
+    }
+    // f still varies on [lo, hi]: bisect with a threshold session.
+    const std::size_t mid = lo + (hi - lo + 1) / 2;  // lo < mid ≤ hi
+    ++out.sessions;
+    const auto decision =
+        spec->run(channel, participants, mid, rng, opts).decision;
+    if (decision) {
+      lo = mid;  // x ≥ mid
+    } else {
+      hi = mid - 1;  // x < mid
+    }
+    TCAST_CHECK(lo <= hi);
+  }
+  out.x_lo = lo;
+  out.x_hi = hi;
+  out.queries = channel.queries_used() - start;
+  return out;
+}
+
+}  // namespace tcast::core

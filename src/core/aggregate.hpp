@@ -1,0 +1,51 @@
+// Beyond thresholds: the companion theory ([4], "k+ decision trees",
+// Aspnes et al.) studies computing arbitrary aggregate functions of the
+// nodes' bits from 1+/2+ queries. The paper instantiates only the
+// threshold function; this module provides the two natural generalisations
+// a deployment actually reaches for:
+//
+//  * run_exact_count — determines x exactly by adaptive binary splitting
+//    (classic group testing): query a segment, discard it when silent,
+//    split otherwise, count singletons. Cost O(x · log(n/x)) queries; in
+//    the 2+ model captured identities shortcut whole subtrees.
+//
+//  * run_symmetric_query — evaluates ANY symmetric predicate f(x) by
+//    maintaining bounds lo ≤ x ≤ hi and bisecting with exact threshold
+//    sessions until f is constant on [lo, hi]. At most ⌈log2 n⌉ sessions;
+//    for the threshold function it degenerates to a single session.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+struct ExactCountOutcome {
+  std::size_t count = 0;
+  QueryCount queries = 0;
+  std::size_t identified = 0;  ///< positives pinned by 2+ captures
+};
+
+/// Determines the exact number of positives among `participants`.
+ExactCountOutcome run_exact_count(group::QueryChannel& channel,
+                                  std::span<const NodeId> participants,
+                                  RngStream& rng);
+
+struct SymmetricOutcome {
+  bool value = false;       ///< f(x)
+  std::size_t x_lo = 0;     ///< final bounds: x ∈ [x_lo, x_hi]
+  std::size_t x_hi = 0;
+  QueryCount queries = 0;
+  std::size_t sessions = 0;  ///< threshold sessions run
+};
+
+/// Evaluates the symmetric predicate `f` of the positive count.
+/// `f` must be total on [0, participants.size()].
+SymmetricOutcome run_symmetric_query(
+    group::QueryChannel& channel, std::span<const NodeId> participants,
+    const std::function<bool(std::size_t)>& f, RngStream& rng,
+    std::string_view algorithm = "2tbins", const EngineOptions& opts = {});
+
+}  // namespace tcast::core

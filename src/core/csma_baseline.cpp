@@ -1,0 +1,17 @@
+#include "core/csma_baseline.hpp"
+
+namespace tcast::core {
+
+CsmaBaselineOutcome run_csma_baseline(std::size_t n, std::size_t x,
+                                      std::size_t t, RngStream& rng,
+                                      const mac::CsmaFeedbackConfig& cfg) {
+  CsmaBaselineOutcome out;
+  out.detail = mac::run_csma_feedback(n, x, t, rng, cfg);
+  out.outcome.decision = out.detail.decision;
+  out.outcome.queries = out.detail.slots;
+  out.outcome.rounds = 1;
+  out.outcome.remaining_candidates = n - out.detail.successes;
+  return out;
+}
+
+}  // namespace tcast::core

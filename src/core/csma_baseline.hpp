@@ -1,0 +1,23 @@
+// CSMA baseline adapter: presents the slot-level CSMA feedback model
+// (mac/csma_feedback.hpp) through the same outcome type as the tcast
+// algorithms, with slots reported in the `queries` field (one slot ≡ one
+// query, the paper's common time axis).
+#pragma once
+
+#include "core/round_engine.hpp"
+#include "mac/csma_feedback.hpp"
+
+namespace tcast::core {
+
+struct CsmaBaselineOutcome {
+  ThresholdOutcome outcome;
+  mac::CsmaFeedbackResult detail;
+};
+
+/// `x` is the ground-truth positive count (the baseline is a cost model —
+/// it needs the truth to emulate which nodes contend).
+CsmaBaselineOutcome run_csma_baseline(std::size_t n, std::size_t x,
+                                      std::size_t t, RngStream& rng,
+                                      const mac::CsmaFeedbackConfig& cfg = {});
+
+}  // namespace tcast::core

@@ -1,0 +1,83 @@
+#include "core/exponential_increase.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::core {
+
+std::size_t ExponentialIncreasePolicy::initial_bins(
+    std::span<const NodeId> candidates, std::size_t threshold) {
+  (void)candidates;
+  (void)threshold;
+  return 2;
+}
+
+std::size_t ExponentialIncreasePolicy::next_bins(
+    const RoundStats& stats, std::span<const NodeId> candidates) {
+  (void)candidates;
+  return stats.bins * 2;
+}
+
+PauseAndContinuePolicy::PauseAndContinuePolicy(double pause_fraction)
+    : pause_fraction_(pause_fraction) {
+  TCAST_CHECK(pause_fraction >= 0.0 && pause_fraction <= 1.0);
+}
+
+std::size_t PauseAndContinuePolicy::initial_bins(
+    std::span<const NodeId> candidates, std::size_t threshold) {
+  (void)candidates;
+  (void)threshold;
+  return 2;
+}
+
+std::size_t PauseAndContinuePolicy::next_bins(
+    const RoundStats& stats, std::span<const NodeId> candidates) {
+  (void)candidates;
+  const auto before = static_cast<double>(stats.candidates_before);
+  const auto after = static_cast<double>(stats.candidates_after);
+  const double eliminated_frac = before > 0.0 ? (before - after) / before : 0.0;
+  if (eliminated_frac >= pause_fraction_) return stats.bins;  // pause
+  return stats.bins * 2;                                      // continue
+}
+
+std::size_t FourFoldPolicy::initial_bins(std::span<const NodeId> candidates,
+                                         std::size_t threshold) {
+  (void)candidates;
+  (void)threshold;
+  return 2;
+}
+
+std::size_t FourFoldPolicy::next_bins(const RoundStats& stats,
+                                      std::span<const NodeId> candidates) {
+  (void)candidates;
+  if (stats.empty_bins == 0) return stats.bins * 4;
+  return stats.bins * 2;
+}
+
+ThresholdOutcome run_exponential_increase(
+    group::QueryChannel& channel, std::span<const NodeId> participants,
+    std::size_t t, RngStream& rng, const EngineOptions& opts) {
+  ExponentialIncreasePolicy policy;
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+ThresholdOutcome run_pause_and_continue(group::QueryChannel& channel,
+                                        std::span<const NodeId> participants,
+                                        std::size_t t, RngStream& rng,
+                                        const EngineOptions& opts,
+                                        double pause_fraction) {
+  PauseAndContinuePolicy policy(pause_fraction);
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+ThresholdOutcome run_four_fold(group::QueryChannel& channel,
+                               std::span<const NodeId> participants,
+                               std::size_t t, RngStream& rng,
+                               const EngineOptions& opts) {
+  FourFoldPolicy policy;
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,57 @@
+// Algorithm 2: the Exponential Increase algorithm, plus the two variations
+// Sec. IV-B reports experimenting with (kept as ablations; the paper found
+// neither consistently better and dropped them from its figures).
+#pragma once
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+/// Plain doubling: 2 bins in round one, ×2 every round.
+class ExponentialIncreasePolicy final : public BinCountPolicy {
+ public:
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+};
+
+/// Pause-and-continue variation: skip the doubling when a round eliminated
+/// at least `pause_fraction` of its candidates.
+class PauseAndContinuePolicy final : public BinCountPolicy {
+ public:
+  explicit PauseAndContinuePolicy(double pause_fraction = 0.5);
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+
+ private:
+  double pause_fraction_;
+};
+
+/// Four-fold variation: quadruple instead of double when every bin tested
+/// non-empty.
+class FourFoldPolicy final : public BinCountPolicy {
+ public:
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+};
+
+ThresholdOutcome run_exponential_increase(
+    group::QueryChannel& channel, std::span<const NodeId> participants,
+    std::size_t t, RngStream& rng, const EngineOptions& opts = {});
+
+ThresholdOutcome run_pause_and_continue(
+    group::QueryChannel& channel, std::span<const NodeId> participants,
+    std::size_t t, RngStream& rng, const EngineOptions& opts = {},
+    double pause_fraction = 0.5);
+
+ThresholdOutcome run_four_fold(group::QueryChannel& channel,
+                               std::span<const NodeId> participants,
+                               std::size_t t, RngStream& rng,
+                               const EngineOptions& opts = {});
+
+}  // namespace tcast::core

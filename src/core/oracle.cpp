@@ -1,0 +1,40 @@
+#include "core/oracle.hpp"
+
+#include <cmath>
+
+#include "analysis/bounds.hpp"
+#include "common/check.hpp"
+
+namespace tcast::core {
+
+std::size_t OraclePolicy::pick(std::span<const NodeId> candidates,
+                               std::size_t threshold) const {
+  const auto x = channel_->oracle_positive_count(candidates);
+  TCAST_CHECK_MSG(x.has_value(),
+                  "oracle policy needs an oracle-capable channel");
+  const double b = analysis::oracle_bin_count(candidates.size(),
+                                              std::max<std::size_t>(1, threshold),
+                                              *x);
+  return static_cast<std::size_t>(std::llround(b));
+}
+
+std::size_t OraclePolicy::initial_bins(std::span<const NodeId> candidates,
+                                       std::size_t threshold) {
+  return pick(candidates, threshold);
+}
+
+std::size_t OraclePolicy::next_bins(const RoundStats& stats,
+                                    std::span<const NodeId> candidates) {
+  return pick(candidates, stats.remaining_threshold);
+}
+
+ThresholdOutcome run_oracle(group::QueryChannel& channel,
+                            std::span<const NodeId> participants,
+                            std::size_t t, RngStream& rng,
+                            const EngineOptions& opts) {
+  OraclePolicy policy(channel);
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,35 @@
+// The oracle bin-selection baseline (Sec. V-C): assumes exact knowledge of
+// x and picks the piecewise-optimal bin count every round. It is the
+// paper's lower-bound reference curve in Figs. 5-6 — not a deployable
+// algorithm (it needs ground truth, so it only runs on oracle-capable
+// channels).
+#pragma once
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+class OraclePolicy final : public BinCountPolicy {
+ public:
+  explicit OraclePolicy(const group::QueryChannel& channel)
+      : channel_(&channel) {}
+
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+
+ private:
+  std::size_t pick(std::span<const NodeId> candidates,
+                   std::size_t threshold) const;
+
+  const group::QueryChannel* channel_;
+};
+
+/// Runs the oracle baseline. Requires channel.oracle_positive_count().
+ThresholdOutcome run_oracle(group::QueryChannel& channel,
+                            std::span<const NodeId> participants,
+                            std::size_t t, RngStream& rng,
+                            const EngineOptions& opts = {});
+
+}  // namespace tcast::core

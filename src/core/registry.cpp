@@ -1,0 +1,79 @@
+#include "core/registry.hpp"
+
+#include "core/abns.hpp"
+#include "core/exponential_increase.hpp"
+#include "core/oracle.hpp"
+#include "core/probabilistic_abns.hpp"
+#include "core/two_t_bins.hpp"
+
+namespace tcast::core {
+
+const std::vector<AlgorithmSpec>& algorithm_registry() {
+  static const std::vector<AlgorithmSpec> registry = [] {
+    std::vector<AlgorithmSpec> specs;
+    specs.push_back(
+        {"2tbins", "Algorithm 1: 2t equal-sized random bins per round", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_two_t_bins(ch, nodes, t, rng, opts);
+         }});
+    specs.push_back(
+        {"expinc", "Algorithm 2: start at 2 bins, double every round", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_exponential_increase(ch, nodes, t, rng, opts);
+         }});
+    specs.push_back(
+        {"expinc-pause",
+         "Sec. IV-B variation: pause doubling after productive rounds", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_pause_and_continue(ch, nodes, t, rng, opts);
+         }});
+    specs.push_back(
+        {"expinc-fourfold",
+         "Sec. IV-B variation: quadruple after all-non-empty rounds", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_four_fold(ch, nodes, t, rng, opts);
+         }});
+    specs.push_back(
+        {"abns:t", "Algorithm 3: ABNS seeded with p0 = t", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_abns(ch, nodes, t, rng,
+                           AbnsOptions{static_cast<double>(t)}, opts);
+         }});
+    specs.push_back(
+        {"abns:2t", "Algorithm 3: ABNS seeded with p0 = 2t", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_abns(ch, nodes, t, rng,
+                           AbnsOptions{2.0 * static_cast<double>(t)}, opts);
+         }});
+    specs.push_back(
+        {"prob-abns",
+         "Sec. V-D: one sampling query, then ABNS(t/4) or 2tBins", false,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_probabilistic_abns(ch, nodes, t, rng, {}, opts);
+         }});
+    specs.push_back(
+        {"oracle", "Sec. V-C lower-bound reference (needs ground truth)",
+         true,
+         [](group::QueryChannel& ch, std::span<const NodeId> nodes,
+            std::size_t t, RngStream& rng, const EngineOptions& opts) {
+           return run_oracle(ch, nodes, t, rng, opts);
+         }});
+    return specs;
+  }();
+  return registry;
+}
+
+const AlgorithmSpec* find_algorithm(std::string_view name) {
+  for (const auto& spec : algorithm_registry())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,35 @@
+// Named registry of the exact threshold-querying algorithms.
+//
+// Lets benches, examples and tests enumerate or look up algorithms by the
+// names used throughout the paper ("2tbins", "expinc", "abns:t", ...)
+// without hard-wiring each call site.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+struct AlgorithmSpec {
+  std::string name;
+  std::string description;
+  /// True for baselines that need ground truth (oracle).
+  bool needs_oracle = false;
+  std::function<ThresholdOutcome(group::QueryChannel&,
+                                 std::span<const NodeId>, std::size_t,
+                                 RngStream&, const EngineOptions&)>
+      run;
+};
+
+/// All registered algorithms, in presentation order.
+const std::vector<AlgorithmSpec>& algorithm_registry();
+
+/// Lookup by name; nullptr when unknown.
+const AlgorithmSpec* find_algorithm(std::string_view name);
+
+}  // namespace tcast::core

@@ -1,0 +1,153 @@
+#include "core/round_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace tcast::core {
+
+RoundEngine::RoundEngine(group::QueryChannel& channel, RngStream& rng,
+                         EngineOptions opts)
+    : channel_(&channel), rng_(&rng), opts_(opts) {}
+
+std::size_t RoundEngine::clamp_bins(std::size_t b,
+                                    std::size_t candidates) const {
+  return std::clamp<std::size_t>(b, 1, std::max<std::size_t>(1, candidates));
+}
+
+group::BinAssignment RoundEngine::make_assignment(
+    std::span<const NodeId> candidates, std::size_t bins) {
+  switch (opts_.scheme) {
+    case BinningScheme::kContiguous:
+      return group::BinAssignment::contiguous(candidates, bins);
+    case BinningScheme::kRandomEqual:
+      break;
+  }
+  return group::BinAssignment::random_equal(candidates, bins, *rng_);
+}
+
+std::vector<std::size_t> RoundEngine::query_order(
+    const group::BinAssignment& a) const {
+  std::vector<std::size_t> order(a.bin_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (opts_.ordering != BinOrdering::kNonEmptyFirst) return order;
+  // Idealised accounting needs ground truth; degrade gracefully without it.
+  std::vector<char> nonempty(a.bin_count(), 0);
+  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+    const auto count = channel_->oracle_positive_count(a.bin(i));
+    if (!count) return order;  // realistic channel: natural order
+    nonempty[i] = *count > 0 ? 1 : 0;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&nonempty](std::size_t lhs, std::size_t rhs) {
+                     return nonempty[lhs] > nonempty[rhs];
+                   });
+  return order;
+}
+
+ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
+                                  std::size_t threshold,
+                                  BinCountPolicy& policy) {
+  ThresholdOutcome out;
+  const QueryCount queries_at_start = channel_->queries_used();
+  const auto finish = [&](bool decision, std::size_t alive_count) {
+    out.decision = decision;
+    out.queries = channel_->queries_used() - queries_at_start;
+    out.remaining_candidates = alive_count;
+    return out;
+  };
+
+  if (threshold == 0) return finish(true, participants.size());
+  if (participants.size() < threshold) return finish(false, participants.size());
+
+  // Alive set, indexed by node id for O(1) removal.
+  NodeId max_id = 0;
+  for (const NodeId id : participants) max_id = std::max(max_id, id);
+  std::vector<char> alive(static_cast<std::size_t>(max_id) + 1, 0);
+  for (const NodeId id : participants)
+    alive[static_cast<std::size_t>(id)] = 1;
+  std::size_t alive_count = participants.size();
+  std::vector<NodeId> candidates(participants.begin(), participants.end());
+
+  std::size_t confirmed = 0;
+  std::size_t bins = clamp_bins(policy.initial_bins(candidates, threshold),
+                                alive_count);
+
+  const std::size_t activity_lb =
+      (channel_->model() == group::CollisionModel::kTwoPlus &&
+       opts_.two_plus_activity_counts_two)
+          ? 2
+          : 1;
+
+  for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
+    ++out.rounds;
+    const auto assignment = make_assignment(candidates, bins);
+    channel_->announce(assignment);
+    const auto order = query_order(assignment);
+
+    RoundStats stats;
+    stats.round_index = round;
+    stats.bins = assignment.bin_count();
+    stats.candidates_before = alive_count;
+    std::size_t round_lb = 0;  // positives certified by this round's bins
+
+    for (const std::size_t idx : order) {
+      const auto result = channel_->query_bin(assignment, idx);
+      ++stats.bins_queried;
+      switch (result.kind) {
+        case group::BinQueryResult::Kind::kEmpty:
+          ++stats.empty_bins;
+          for (const NodeId id : assignment.bin(idx)) {
+            if (alive[static_cast<std::size_t>(id)]) {
+              alive[static_cast<std::size_t>(id)] = 0;
+              --alive_count;
+            }
+          }
+          break;
+        case group::BinQueryResult::Kind::kActivity:
+          ++stats.nonempty_bins;
+          round_lb += activity_lb;
+          break;
+        case group::BinQueryResult::Kind::kCaptured: {
+          ++stats.nonempty_bins;
+          ++stats.captured;
+          const NodeId id = result.captured;
+          TCAST_CHECK_MSG(id != kNoNode, "captured result without identity");
+          if (alive[static_cast<std::size_t>(id)]) {
+            alive[static_cast<std::size_t>(id)] = 0;
+            --alive_count;
+          }
+          ++confirmed;
+          break;
+        }
+      }
+      out.confirmed_positives = confirmed;
+      if (confirmed + round_lb >= threshold)  // Alg. 1 line 11, generalised
+        return finish(true, alive_count);
+      if (confirmed + alive_count < threshold)  // Alg. 1 line 14, generalised
+        return finish(false, alive_count);
+    }
+
+    // Round completed without a decision: rebuild candidates, consult the
+    // policy for the next bin count.
+    candidates.clear();
+    for (std::size_t id = 0; id < alive.size(); ++id)
+      if (alive[id]) candidates.push_back(static_cast<NodeId>(id));
+    TCAST_CHECK(candidates.size() == alive_count);
+
+    stats.candidates_after = alive_count;
+    stats.remaining_threshold = threshold - confirmed;
+    std::size_t next = policy.next_bins(stats, candidates);
+    // Anti-livelock: a round that eliminated nothing and captured nothing
+    // must not repeat with the same (or smaller) bin count — every-bin-
+    // non-empty rounds carry zero information at fixed b.
+    const bool progress = stats.empty_bins > 0 || stats.captured > 0;
+    if (!progress && next <= bins) next = bins * 2;
+    bins = clamp_bins(next, alive_count);
+  }
+  TCAST_CHECK_MSG(false, "round engine exceeded max_rounds");
+  return out;  // unreachable
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,110 @@
+// The shared round engine behind every exact tcast algorithm.
+//
+// Algorithms 1 (2tBins), 2 (Exponential Increase), 3 (ABNS) and the oracle
+// baseline all share one skeleton — per round: pick a bin count, partition
+// the surviving candidates, query bins with early termination, dispose the
+// nodes of silent bins — and differ only in how the bin count is chosen.
+// That choice is the BinCountPolicy strategy; the engine owns everything
+// else, including the 2+ model's extra bookkeeping:
+//
+//   * a captured identity is a *confirmed* positive: removed from the
+//     candidate set and credited against the threshold for the rest of the
+//     session ("we can exclude this node from the next round");
+//   * an activity-without-capture bin certifies ≥2 positives ("we can
+//     conclude that at least two nodes replied") — configurable, since the
+//     inference is only sound when a lone reply always decodes.
+//
+// Termination invariant per query:
+//   confirmed + Σ(per-bin lower bounds this round) ≥ t  ⇒  answer true
+//   confirmed + |candidates|                       < t  ⇒  answer false
+// which reduces exactly to Alg. 1 lines 11/14 in the 1+ model.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "group/query_channel.hpp"
+
+namespace tcast::core {
+
+/// Within-round query order (DESIGN.md decision #2).
+enum class BinOrdering {
+  /// Paper-simulation accounting: bins are ordered so non-empty ones come
+  /// first and "empty bins never occupy a time slot" once early termination
+  /// fires. Requires an oracle-capable channel; falls back to kInOrder.
+  kNonEmptyFirst,
+  /// Realistic: bins queried in index order (the testbed behaviour).
+  kInOrder,
+};
+
+enum class BinningScheme {
+  kRandomEqual,  ///< Alg. 1 line 4 (this paper)
+  kContiguous,   ///< deterministic variant of [4] (ablation)
+};
+
+struct EngineOptions {
+  BinOrdering ordering = BinOrdering::kNonEmptyFirst;
+  BinningScheme scheme = BinningScheme::kRandomEqual;
+  /// 2+ model: count an undecoded-activity bin as ≥2 positives. Sound when
+  /// a lone reply always decodes (exact tier; lossless packet tier).
+  bool two_plus_activity_counts_two = true;
+  /// Safety valve; no exact algorithm comes near this (tests assert so).
+  std::size_t max_rounds = 10'000;
+};
+
+struct ThresholdOutcome {
+  bool decision = false;            ///< the answer to "x ≥ t?"
+  QueryCount queries = 0;           ///< RCD queries spent (the paper's cost)
+  std::size_t rounds = 0;           ///< rounds entered
+  std::size_t confirmed_positives = 0;  ///< identities captured (2+ only)
+  std::size_t remaining_candidates = 0; ///< undecided nodes at termination
+};
+
+/// What a policy sees after each completed (not early-terminated) round.
+struct RoundStats {
+  std::size_t round_index = 0;       ///< 0-based
+  std::size_t bins = 0;              ///< bins in this round's assignment
+  std::size_t bins_queried = 0;
+  std::size_t empty_bins = 0;        ///< e_real of Alg. 3
+  std::size_t nonempty_bins = 0;
+  std::size_t captured = 0;          ///< identities captured this round
+  std::size_t candidates_before = 0;
+  std::size_t candidates_after = 0;
+  std::size_t remaining_threshold = 0;  ///< t − confirmed so far
+};
+
+/// Strategy: how many bins to use each round.
+class BinCountPolicy {
+ public:
+  virtual ~BinCountPolicy() = default;
+
+  virtual std::size_t initial_bins(std::span<const NodeId> candidates,
+                                   std::size_t threshold) = 0;
+
+  virtual std::size_t next_bins(const RoundStats& stats,
+                                std::span<const NodeId> candidates) = 0;
+};
+
+class RoundEngine {
+ public:
+  /// `rng` drives the random binning and must outlive run().
+  RoundEngine(group::QueryChannel& channel, RngStream& rng,
+              EngineOptions opts = {});
+
+  /// Decides whether ≥ `threshold` of `participants` are positive.
+  ThresholdOutcome run(std::span<const NodeId> participants,
+                       std::size_t threshold, BinCountPolicy& policy);
+
+ private:
+  std::size_t clamp_bins(std::size_t b, std::size_t candidates) const;
+  group::BinAssignment make_assignment(std::span<const NodeId> candidates,
+                                       std::size_t bins);
+  std::vector<std::size_t> query_order(const group::BinAssignment& a) const;
+
+  group::QueryChannel* channel_;
+  RngStream* rng_;
+  EngineOptions opts_;
+};
+
+}  // namespace tcast::core

@@ -1,0 +1,18 @@
+#include "core/sequential_baseline.hpp"
+
+namespace tcast::core {
+
+SequentialBaselineOutcome run_sequential_baseline(std::size_t n,
+                                                  std::size_t x,
+                                                  std::size_t t,
+                                                  RngStream& rng) {
+  SequentialBaselineOutcome out;
+  out.detail = mac::run_sequential_feedback(n, x, t, rng);
+  out.outcome.decision = out.detail.decision;
+  out.outcome.queries = out.detail.slots;
+  out.outcome.rounds = 1;
+  out.outcome.remaining_candidates = n - out.detail.slots;
+  return out;
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,20 @@
+// Sequential-ordering baseline adapter (see mac/sequential.hpp); slots are
+// reported in the `queries` field.
+#pragma once
+
+#include "core/round_engine.hpp"
+#include "mac/sequential.hpp"
+
+namespace tcast::core {
+
+struct SequentialBaselineOutcome {
+  ThresholdOutcome outcome;
+  mac::SequentialResult detail;
+};
+
+SequentialBaselineOutcome run_sequential_baseline(std::size_t n,
+                                                  std::size_t x,
+                                                  std::size_t t,
+                                                  RngStream& rng);
+
+}  // namespace tcast::core

@@ -1,0 +1,31 @@
+#include "core/session.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::core {
+
+ThresholdSession::ThresholdSession(group::QueryChannel& channel,
+                                   std::vector<NodeId> participants,
+                                   RngStream& rng, EngineOptions opts)
+    : channel_(&channel),
+      participants_(std::move(participants)),
+      rng_(&rng),
+      opts_(opts) {}
+
+ThresholdOutcome ThresholdSession::tcast(std::size_t t,
+                                         std::string_view algorithm) {
+  const AlgorithmSpec* spec = find_algorithm(algorithm);
+  TCAST_CHECK_MSG(spec != nullptr, "unknown tcast algorithm name");
+  return spec->run(*channel_, participants_, t, *rng_, opts_);
+}
+
+ProbabilisticOutcome ThresholdSession::probabilistic(double t_l, double t_r,
+                                                     std::size_t repeats) {
+  ProbabilisticThresholdOptions popts;
+  popts.t_l = t_l;
+  popts.t_r = t_r;
+  popts.repeats = repeats;
+  return run_probabilistic_threshold(*channel_, participants_, popts, *rng_);
+}
+
+}  // namespace tcast::core

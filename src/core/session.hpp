@@ -1,0 +1,47 @@
+// ThresholdSession — the high-level public entry point of the library.
+//
+// A session binds a channel (exact or packet tier), the participant set and
+// the RNG, and exposes the paper's primitives as one-liners:
+//
+//   tcast::core::ThresholdSession session(channel, rng);
+//   auto out = session.tcast(/*t=*/8);                    // 2tBins default
+//   auto out2 = session.tcast(8, "prob-abns");            // by name
+//   auto hint = session.probabilistic(t_l, t_r, repeats); // Sec. VI test
+#pragma once
+
+#include <string_view>
+
+#include "core/probabilistic_threshold.hpp"
+#include "core/registry.hpp"
+
+namespace tcast::core {
+
+class ThresholdSession {
+ public:
+  /// Participants default to every node the channel knows about when the
+  /// caller passes an empty span at tcast() time.
+  ThresholdSession(group::QueryChannel& channel,
+                   std::vector<NodeId> participants, RngStream& rng,
+                   EngineOptions opts = {});
+
+  /// Answers "do at least t participants satisfy the predicate?" using the
+  /// named algorithm (default: 2tBins). Aborts on unknown names.
+  ThresholdOutcome tcast(std::size_t t, std::string_view algorithm = "2tbins");
+
+  /// The Sec.-VI constant-query bimodal test.
+  ProbabilisticOutcome probabilistic(double t_l, double t_r,
+                                     std::size_t repeats);
+
+  /// Cumulative query count across all calls on this session.
+  QueryCount total_queries() const { return channel_->queries_used(); }
+
+  const std::vector<NodeId>& participants() const { return participants_; }
+
+ private:
+  group::QueryChannel* channel_;
+  std::vector<NodeId> participants_;
+  RngStream* rng_;
+  EngineOptions opts_;
+};
+
+}  // namespace tcast::core

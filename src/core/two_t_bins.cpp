@@ -1,0 +1,26 @@
+#include "core/two_t_bins.hpp"
+
+namespace tcast::core {
+
+std::size_t TwoTBinsPolicy::initial_bins(std::span<const NodeId> candidates,
+                                         std::size_t threshold) {
+  (void)candidates;
+  return 2 * threshold;
+}
+
+std::size_t TwoTBinsPolicy::next_bins(const RoundStats& stats,
+                                      std::span<const NodeId> candidates) {
+  (void)candidates;
+  return 2 * stats.remaining_threshold;
+}
+
+ThresholdOutcome run_two_t_bins(group::QueryChannel& channel,
+                                std::span<const NodeId> participants,
+                                std::size_t t, RngStream& rng,
+                                const EngineOptions& opts) {
+  TwoTBinsPolicy policy;
+  RoundEngine engine(channel, rng, opts);
+  return engine.run(participants, t, policy);
+}
+
+}  // namespace tcast::core

@@ -1,0 +1,28 @@
+// Algorithm 1: the 2tBins algorithm.
+//
+// Every round partitions the surviving candidates into 2t equal-sized
+// random bins (t = the *remaining* threshold: in the 2+ model captured
+// positives shrink it, which is what lets 2+ "start with a very low number
+// of bins in the second round", Sec. IV-C.2). Upper bound:
+// 2t · log2(N / 2t) queries; optimal up to a log t factor ([4]).
+#pragma once
+
+#include "core/round_engine.hpp"
+
+namespace tcast::core {
+
+class TwoTBinsPolicy final : public BinCountPolicy {
+ public:
+  std::size_t initial_bins(std::span<const NodeId> candidates,
+                           std::size_t threshold) override;
+  std::size_t next_bins(const RoundStats& stats,
+                        std::span<const NodeId> candidates) override;
+};
+
+/// Runs 2tBins over `participants` with threshold `t` on `channel`.
+ThresholdOutcome run_two_t_bins(group::QueryChannel& channel,
+                                std::span<const NodeId> participants,
+                                std::size_t t, RngStream& rng,
+                                const EngineOptions& opts = {});
+
+}  // namespace tcast::core

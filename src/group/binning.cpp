@@ -1,0 +1,66 @@
+#include "group/binning.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "rcd/addressing.hpp"
+
+namespace tcast::group {
+
+BinAssignment BinAssignment::random_equal(std::span<const NodeId> nodes,
+                                          std::size_t bins, RngStream& rng) {
+  TCAST_CHECK(bins >= 1);
+  std::vector<NodeId> shuffled(nodes.begin(), nodes.end());
+  rng.shuffle(shuffled);
+  std::vector<std::vector<NodeId>> out(bins);
+  for (std::size_t i = 0; i < shuffled.size(); ++i)
+    out[i % bins].push_back(shuffled[i]);
+  return BinAssignment(std::move(out));
+}
+
+BinAssignment BinAssignment::contiguous(std::span<const NodeId> nodes,
+                                        std::size_t bins) {
+  TCAST_CHECK(bins >= 1);
+  std::vector<std::vector<NodeId>> out(bins);
+  // Same size profile as the random variant (sizes differ by ≤ 1), but the
+  // membership is the deterministic index order.
+  const std::size_t n = nodes.size();
+  const std::size_t base = n / bins;
+  const std::size_t extra = n % bins;
+  std::size_t next = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t size = base + (b < extra ? 1 : 0);
+    out[b].assign(nodes.begin() + static_cast<std::ptrdiff_t>(next),
+                  nodes.begin() + static_cast<std::ptrdiff_t>(next + size));
+    next += size;
+  }
+  return BinAssignment(std::move(out));
+}
+
+BinAssignment BinAssignment::sampled(std::span<const NodeId> nodes,
+                                     double inclusion_prob, RngStream& rng) {
+  TCAST_CHECK(inclusion_prob >= 0.0 && inclusion_prob <= 1.0);
+  std::vector<std::vector<NodeId>> out(1);
+  for (const NodeId id : nodes)
+    if (rng.bernoulli(inclusion_prob)) out[0].push_back(id);
+  return BinAssignment(std::move(out));
+}
+
+std::size_t BinAssignment::total_assigned() const {
+  std::size_t total = 0;
+  for (const auto& b : bins_) total += b.size();
+  return total;
+}
+
+std::vector<std::uint16_t> BinAssignment::to_wire(std::size_t universe) const {
+  std::vector<std::uint16_t> wire(universe, rcd::kNotInRound);
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    for (const NodeId id : bins_[b]) {
+      TCAST_CHECK(static_cast<std::size_t>(id) < universe);
+      wire[id] = static_cast<std::uint16_t>(b);
+    }
+  }
+  return wire;
+}
+
+}  // namespace tcast::group

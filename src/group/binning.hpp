@@ -1,0 +1,49 @@
+// Bin (group) assignment — the group-testing structure tcast queries act on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tcast::group {
+
+/// A partition of (a subset of) the participants into queryable bins.
+class BinAssignment {
+ public:
+  /// Random equal-sized partition (Alg. 1 line 4): shuffle then deal
+  /// round-robin; bin sizes differ by at most one.
+  static BinAssignment random_equal(std::span<const NodeId> nodes,
+                                    std::size_t bins, RngStream& rng);
+
+  /// Deterministic contiguous partition (the variant of [4] the paper
+  /// contrasts with; ablation `abl_binning`).
+  static BinAssignment contiguous(std::span<const NodeId> nodes,
+                                  std::size_t bins);
+
+  /// One bin containing each node independently with `inclusion_prob` —
+  /// the probabilistic sampling bin of Sec. V-D / VI.
+  static BinAssignment sampled(std::span<const NodeId> nodes,
+                               double inclusion_prob, RngStream& rng);
+
+  std::size_t bin_count() const { return bins_.size(); }
+  std::span<const NodeId> bin(std::size_t i) const {
+    return bins_.at(i);
+  }
+  std::size_t total_assigned() const;
+
+  /// Serialises to the on-air node→bin map carried by a Predicate frame.
+  /// `universe` is the participant count (wire vector length); nodes not in
+  /// any bin get rcd::kNotInRound (0xFFFF).
+  std::vector<std::uint16_t> to_wire(std::size_t universe) const;
+
+ private:
+  explicit BinAssignment(std::vector<std::vector<NodeId>> bins)
+      : bins_(std::move(bins)) {}
+
+  std::vector<std::vector<NodeId>> bins_;
+};
+
+}  // namespace tcast::group

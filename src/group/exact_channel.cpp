@@ -1,0 +1,78 @@
+#include "group/exact_channel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tcast::group {
+
+const char* to_string(CollisionModel m) {
+  switch (m) {
+    case CollisionModel::kOnePlus: return "1+";
+    case CollisionModel::kTwoPlus: return "2+";
+  }
+  return "?";
+}
+
+ExactChannel::ExactChannel(std::vector<bool> positive, RngStream& rng,
+                           Config cfg)
+    : QueryChannel(cfg.model),
+      positive_(std::move(positive)),
+      rng_(&rng),
+      capture_(cfg.capture ? std::move(cfg.capture)
+                           : std::make_shared<radio::GeometricCaptureModel>()) {
+  positive_count_ = static_cast<std::size_t>(
+      std::count(positive_.begin(), positive_.end(), true));
+}
+
+ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
+                                                 RngStream& rng) {
+  return with_random_positives(n, x, rng, Config{});
+}
+
+ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
+                                                 RngStream& rng, Config cfg) {
+  std::vector<bool> positive(n, false);
+  for (const NodeId id : rng.sample_subset(n, x))
+    positive[static_cast<std::size_t>(id)] = true;
+  return ExactChannel(std::move(positive), rng, std::move(cfg));
+}
+
+void ExactChannel::set_positive(NodeId id, bool value) {
+  auto ref = positive_.at(static_cast<std::size_t>(id));
+  if (ref == value) return;
+  positive_[static_cast<std::size_t>(id)] = value;
+  positive_count_ += value ? 1 : std::size_t(-1);
+}
+
+std::vector<NodeId> ExactChannel::all_nodes() const {
+  std::vector<NodeId> out(positive_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+std::optional<std::size_t> ExactChannel::oracle_positive_count(
+    std::span<const NodeId> nodes) const {
+  std::size_t count = 0;
+  for (const NodeId id : nodes)
+    if (positive_.at(static_cast<std::size_t>(id))) ++count;
+  return count;
+}
+
+BinQueryResult ExactChannel::do_query_set(std::span<const NodeId> nodes) {
+  std::vector<NodeId> positives_in_bin;
+  for (const NodeId id : nodes)
+    if (positive_.at(static_cast<std::size_t>(id)))
+      positives_in_bin.push_back(id);
+  const std::size_t k = positives_in_bin.size();
+
+  if (k == 0) return BinQueryResult::empty();
+  if (model() == CollisionModel::kOnePlus) return BinQueryResult::activity();
+  // 2+ model: a lone reply always decodes; collisions may capture.
+  const auto idx = capture_->captured_index(k, *rng_);
+  if (idx) return BinQueryResult::captured_node(positives_in_bin[*idx]);
+  return BinQueryResult::activity();
+}
+
+}  // namespace tcast::group

@@ -1,0 +1,59 @@
+// ExactChannel: the abstract simulation tier (paper Sec. IV-C setup).
+//
+// Queries are resolved instantly from ground truth with exact 1+/2+
+// semantics; the only randomness is the capture draw of the 2+ model. This
+// is the channel behind Figs. 1-3 and 5-11.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "group/query_channel.hpp"
+#include "radio/capture.hpp"
+
+namespace tcast::group {
+
+class ExactChannel final : public QueryChannel {
+ public:
+  struct Config {
+    CollisionModel model = CollisionModel::kOnePlus;
+    /// 2+ capture draw; nullptr = GeometricCaptureModel defaults.
+    std::shared_ptr<radio::CaptureModel> capture;
+  };
+
+  /// `positive[i]` = ground truth for node i; `rng` is borrowed for capture
+  /// draws and must outlive the channel.
+  ExactChannel(std::vector<bool> positive, RngStream& rng)
+      : ExactChannel(std::move(positive), rng, Config{}) {}
+  ExactChannel(std::vector<bool> positive, RngStream& rng, Config cfg);
+
+  /// Convenience: n nodes with a random x-subset positive.
+  static ExactChannel with_random_positives(std::size_t n, std::size_t x,
+                                            RngStream& rng, Config cfg);
+  static ExactChannel with_random_positives(std::size_t n, std::size_t x,
+                                            RngStream& rng);
+
+  std::size_t participant_count() const { return positive_.size(); }
+  std::size_t positive_count() const { return positive_count_; }
+  bool is_positive(NodeId id) const {
+    return positive_.at(static_cast<std::size_t>(id));
+  }
+  void set_positive(NodeId id, bool value);
+
+  /// All participant ids [0, n) — the initial candidate set.
+  std::vector<NodeId> all_nodes() const;
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override;
+
+ protected:
+  BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
+
+ private:
+  std::vector<bool> positive_;
+  std::size_t positive_count_ = 0;
+  RngStream* rng_;
+  std::shared_ptr<radio::CaptureModel> capture_;
+};
+
+}  // namespace tcast::group

@@ -1,0 +1,2 @@
+// InstrumentedChannel is header-only; this TU anchors the build target.
+#include "group/instrumented_channel.hpp"

@@ -1,0 +1,68 @@
+// InstrumentedChannel: decorator recording a full query transcript.
+//
+// Wraps any QueryChannel; used by tests to assert algorithm behaviour
+// (bin sizes, round structure, soundness of every inference against ground
+// truth) and by examples for tracing. The inner channel's own counter still
+// advances — read the decorator's counter.
+#pragma once
+
+#include <vector>
+
+#include "group/query_channel.hpp"
+
+namespace tcast::group {
+
+class InstrumentedChannel final : public QueryChannel {
+ public:
+  struct Record {
+    std::vector<NodeId> nodes;  ///< the queried set
+    BinQueryResult result;
+    std::optional<std::size_t> true_positives;  ///< if inner has an oracle
+  };
+
+  explicit InstrumentedChannel(QueryChannel& inner)
+      : QueryChannel(inner.model()), inner_(&inner) {}
+
+  const std::vector<Record>& transcript() const { return transcript_; }
+  std::size_t announces() const { return announces_; }
+  void clear() {
+    transcript_.clear();
+    announces_ = 0;
+  }
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override {
+    return inner_->oracle_positive_count(nodes);
+  }
+
+ protected:
+  void do_announce(const BinAssignment& a) override {
+    ++announces_;
+    inner_->announce(a);
+  }
+
+  BinQueryResult do_query_bin(const BinAssignment& a,
+                              std::size_t idx) override {
+    return record(a.bin(idx), inner_->query_bin(a, idx));
+  }
+
+  BinQueryResult do_query_set(std::span<const NodeId> nodes) override {
+    return record(nodes, inner_->query_set(nodes));
+  }
+
+ private:
+  BinQueryResult record(std::span<const NodeId> nodes, BinQueryResult r) {
+    Record rec;
+    rec.nodes.assign(nodes.begin(), nodes.end());
+    rec.result = r;
+    rec.true_positives = inner_->oracle_positive_count(nodes);
+    transcript_.push_back(std::move(rec));
+    return r;
+  }
+
+  QueryChannel* inner_;
+  std::vector<Record> transcript_;
+  std::size_t announces_ = 0;
+};
+
+}  // namespace tcast::group

@@ -1,0 +1,185 @@
+#include "group/packet_channel.hpp"
+
+#include "common/check.hpp"
+#include "rcd/addressing.hpp"
+
+namespace tcast::group {
+
+struct PacketChannel::Participant {
+  std::unique_ptr<radio::Radio> radio;
+  std::unique_ptr<rcd::BackcastResponder> backcast;
+  std::unique_ptr<rcd::PollcastResponder> pollcast;
+};
+
+namespace {
+
+RcdPrimitive resolve_primitive(const PacketChannel::Config& cfg) {
+  if (cfg.primitive != RcdPrimitive::kAuto) {
+    TCAST_CHECK_MSG(!(cfg.primitive == RcdPrimitive::kBackcast &&
+                      cfg.model == CollisionModel::kTwoPlus),
+                    "backcast HACKs carry no identity: 2+ needs pollcast");
+    return cfg.primitive;
+  }
+  return cfg.model == CollisionModel::kOnePlus ? RcdPrimitive::kBackcast
+                                               : RcdPrimitive::kPollcast;
+}
+
+}  // namespace
+
+PacketChannel::PacketChannel(std::vector<bool> positive, Config cfg)
+    : QueryChannel(cfg.model), positive_(std::move(positive)), cfg_(cfg) {
+  sim_ = std::make_unique<sim::Simulator>(cfg_.seed, cfg_.stream);
+  channel_ = std::make_unique<radio::Channel>(*sim_, cfg_.channel);
+  initiator_radio_ = std::make_unique<radio::Radio>(
+      *channel_, kNoNode, rcd::kInitiatorAddr);
+  initiator_radio_->set_position(cfg_.initiator_pos.first,
+                                 cfg_.initiator_pos.second);
+  initiator_radio_->power_on();
+
+  const bool use_backcast =
+      resolve_primitive(cfg_) == RcdPrimitive::kBackcast;
+  if (use_backcast) {
+    backcast_ = std::make_unique<rcd::BackcastInitiator>(*initiator_radio_);
+    initiator_radio_->set_receive_handler(
+        [this](const radio::Frame& f, const radio::RxInfo& info) {
+          backcast_->on_frame(f, info);
+        });
+  } else {
+    pollcast_ = std::make_unique<rcd::PollcastInitiator>(*initiator_radio_);
+    initiator_radio_->set_receive_handler(
+        [this](const radio::Frame& f, const radio::RxInfo& info) {
+          pollcast_->on_frame(f, info);
+        });
+    initiator_radio_->set_activity_handler(
+        [this](SimTime s, SimTime e) { pollcast_->on_activity(s, e); });
+  }
+
+  participants_.reserve(positive_.size());
+  for (std::size_t i = 0; i < positive_.size(); ++i) {
+    auto p = std::make_unique<Participant>();
+    const auto id = static_cast<NodeId>(i);
+    p->radio = std::make_unique<radio::Radio>(*channel_, id,
+                                              rcd::participant_addr(id));
+    const auto pos = i < cfg_.participant_positions.size()
+                         ? cfg_.participant_positions[i]
+                         : cfg_.initiator_pos;
+    p->radio->set_position(pos.first, pos.second);
+    p->radio->power_on();
+    auto eval = [this, i](std::uint8_t pred) {
+      return pred == cfg_.predicate_id && positive_[i];
+    };
+    if (use_backcast) {
+      p->backcast = std::make_unique<rcd::BackcastResponder>(*p->radio, eval);
+      auto* responder = p->backcast.get();
+      p->radio->set_receive_handler(
+          [responder](const radio::Frame& f, const radio::RxInfo&) {
+            responder->on_frame(f);
+          });
+    } else {
+      p->pollcast = std::make_unique<rcd::PollcastResponder>(*p->radio, eval);
+      auto* responder = p->pollcast.get();
+      p->radio->set_receive_handler(
+          [responder](const radio::Frame& f, const radio::RxInfo&) {
+            responder->on_frame(f);
+          });
+    }
+    participants_.push_back(std::move(p));
+  }
+
+  if (cfg_.interference_duty > 0.0) {
+    radio::InterferenceSource::Config icfg;
+    icfg.duty = cfg_.interference_duty;
+    icfg.frame_bytes = cfg_.interference_frame_bytes;
+    icfg.position = cfg_.interferer_pos;
+    interference_ =
+        std::make_unique<radio::InterferenceSource>(*channel_, icfg);
+    interference_->start();
+  }
+}
+
+PacketChannel::~PacketChannel() = default;
+
+std::vector<NodeId> PacketChannel::all_nodes() const {
+  std::vector<NodeId> out(positive_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+double PacketChannel::initiator_energy_mj() {
+  initiator_radio_->energy().settle(sim_->now());
+  return initiator_radio_->energy().energy_mj();
+}
+
+double PacketChannel::participant_energy_mj(NodeId id) {
+  auto& r = *participants_.at(static_cast<std::size_t>(id))->radio;
+  r.energy().settle(sim_->now());
+  return r.energy().energy_mj();
+}
+
+std::uint64_t PacketChannel::interference_frames() const {
+  return interference_ ? interference_->frames_emitted() : 0;
+}
+
+void PacketChannel::ensure_announced(
+    const std::vector<std::uint16_t>& wire) {
+  if (wire == announced_wire_) return;
+  ++session_;
+  bool done = false;
+  auto on_done = [&done] { done = true; };
+  if (backcast_) {
+    backcast_->announce(cfg_.predicate_id, session_, wire, on_done);
+  } else {
+    pollcast_->announce(cfg_.predicate_id, session_, wire, on_done);
+  }
+  sim_->run_until_flag([&done] { return done; });
+  TCAST_CHECK_MSG(done, "announce did not complete");
+  announced_wire_ = wire;
+}
+
+void PacketChannel::do_announce(const BinAssignment& a) {
+  ensure_announced(a.to_wire(positive_.size()));
+}
+
+BinQueryResult PacketChannel::poll(std::uint16_t bin) {
+  BinQueryResult result;
+  bool done = false;
+  if (backcast_) {
+    backcast_->poll_bin(bin, [&](rcd::BackcastInitiator::PollResult r) {
+      result = r.nonempty ? BinQueryResult::activity()
+                          : BinQueryResult::empty();
+      done = true;
+    });
+  } else {
+    const bool two_plus = model() == CollisionModel::kTwoPlus;
+    pollcast_->poll_bin(bin, [&](rcd::PollcastInitiator::PollResult r) {
+      if (two_plus && r.captured) {
+        result = BinQueryResult::captured_node(*r.captured);
+      } else if (r.activity) {
+        result = BinQueryResult::activity();
+      } else {
+        result = BinQueryResult::empty();
+      }
+      done = true;
+    });
+  }
+  sim_->run_until_flag([&done] { return done; });
+  TCAST_CHECK_MSG(done, "poll did not complete");
+  return result;
+}
+
+BinQueryResult PacketChannel::do_query_bin(const BinAssignment& a,
+                                           std::size_t idx) {
+  ensure_announced(a.to_wire(positive_.size()));
+  return poll(static_cast<std::uint16_t>(idx));
+}
+
+BinQueryResult PacketChannel::do_query_set(std::span<const NodeId> nodes) {
+  // Ad-hoc set: announce a one-bin assignment containing exactly `nodes`.
+  std::vector<std::uint16_t> wire(positive_.size(), rcd::kNotInRound);
+  for (const NodeId id : nodes) wire.at(static_cast<std::size_t>(id)) = 0;
+  ensure_announced(wire);
+  return poll(0);
+}
+
+}  // namespace tcast::group

@@ -1,0 +1,102 @@
+// QueryChannel — the single interface every tcast algorithm is written
+// against. An implementation answers "is this bin empty?" under one of the
+// paper's two collision models (Sec. III-A):
+//
+//   1+ : silence vs activity. Outcomes: kEmpty, kActivity.
+//   2+ : additionally, the radio may lock onto one reply (capture effect).
+//        Outcomes: kEmpty, kActivity (⇒ ≥2 repliers: a lone reply always
+//        decodes), kCaptured (one identity known; because of the capture
+//        effect the initiator can NOT conclude the bin held only that node).
+//
+// Query accounting lives in this base class (non-virtual entry points), so
+// every implementation is counted identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+#include "group/binning.hpp"
+
+namespace tcast::group {
+
+enum class CollisionModel : std::uint8_t { kOnePlus, kTwoPlus };
+
+const char* to_string(CollisionModel m);
+
+struct BinQueryResult {
+  enum class Kind : std::uint8_t {
+    kEmpty,     ///< silence: no positive node in the bin
+    kActivity,  ///< energy but no decode (1+: ≥1 positive; 2+: ≥2 positives)
+    kCaptured,  ///< 2+ only: one reply decoded; `captured` is that node
+  };
+
+  Kind kind = Kind::kEmpty;
+  NodeId captured = kNoNode;
+
+  bool nonempty() const { return kind != Kind::kEmpty; }
+
+  static BinQueryResult empty() { return {}; }
+  static BinQueryResult activity() {
+    return {Kind::kActivity, kNoNode};
+  }
+  static BinQueryResult captured_node(NodeId id) {
+    return {Kind::kCaptured, id};
+  }
+};
+
+class QueryChannel {
+ public:
+  explicit QueryChannel(CollisionModel model) : model_(model) {}
+  virtual ~QueryChannel() = default;
+
+  QueryChannel(const QueryChannel&) = delete;
+  QueryChannel& operator=(const QueryChannel&) = delete;
+
+  CollisionModel model() const { return model_; }
+
+  /// Announces a round's bin structure (one broadcast on the packet tier;
+  /// free — announcements are not queries in the paper's cost model, they
+  /// ride on the poll message of the first query).
+  void announce(const BinAssignment& a) { do_announce(a); }
+
+  /// Queries bin `idx` of the announced assignment. Costs one query.
+  BinQueryResult query_bin(const BinAssignment& a, std::size_t idx) {
+    ++queries_;
+    return do_query_bin(a, idx);
+  }
+
+  /// Queries an ad-hoc node set (the probabilistic sampling bin). Costs one
+  /// query.
+  BinQueryResult query_set(std::span<const NodeId> nodes) {
+    ++queries_;
+    return do_query_set(nodes);
+  }
+
+  QueryCount queries_used() const { return queries_; }
+  void reset_query_counter() { queries_ = 0; }
+
+  /// Oracle hooks for idealised accounting and lower-bound baselines; only
+  /// ground-truth-capable channels implement them (the exact tier). Real
+  /// channels return nullopt and callers must cope.
+  virtual std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const {
+    (void)nodes;
+    return std::nullopt;
+  }
+
+ protected:
+  virtual void do_announce(const BinAssignment& a) { (void)a; }
+  virtual BinQueryResult do_query_bin(const BinAssignment& a,
+                                      std::size_t idx) {
+    return do_query_set(a.bin(idx));
+  }
+  virtual BinQueryResult do_query_set(std::span<const NodeId> nodes) = 0;
+
+ private:
+  CollisionModel model_;
+  QueryCount queries_ = 0;
+};
+
+}  // namespace tcast::group

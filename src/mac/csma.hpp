@@ -1,0 +1,60 @@
+// Packet-tier CSMA-CA MAC (802.15.4 unslotted flavour) on top of the radio.
+//
+// Used by the examples and integration tests that want contention-based
+// traffic in the discrete-event world (e.g. pitting a CSMA reply storm
+// against a tcast session on the same channel). The figure benches use the
+// fast slot model in csma_feedback.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "radio/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast::mac {
+
+class CsmaMac {
+ public:
+  struct Config {
+    std::size_t min_be = 3;        ///< macMinBE
+    std::size_t max_be = 5;        ///< macMaxBE
+    std::size_t max_backoffs = 4;  ///< macMaxCSMABackoffs
+  };
+
+  /// Called when the frame left the air (true) or was dropped after
+  /// exhausting backoffs (false).
+  using SendDone = std::function<void(bool ok)>;
+
+  explicit CsmaMac(radio::Radio& r) : CsmaMac(r, Config{}) {}
+  CsmaMac(radio::Radio& r, Config cfg);
+
+  /// Enqueues a frame; frames go out in FIFO order.
+  void send(radio::Frame f, SendDone done = nullptr);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Pending {
+    radio::Frame frame;
+    SendDone done;
+    std::size_t be;
+    std::size_t backoffs;
+  };
+
+  void start_attempt();
+  void backoff_expired();
+
+  radio::Radio* radio_;
+  sim::Simulator* sim_;
+  Config cfg_;
+  std::deque<Pending> queue_;
+  bool attempt_in_flight_ = false;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace tcast::mac

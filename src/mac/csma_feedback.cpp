@@ -1,0 +1,88 @@
+#include "mac/csma_feedback.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tcast::mac {
+
+namespace {
+
+struct Contender {
+  std::size_t cw;
+  std::size_t counter;  ///< idle slots to wait before transmitting
+};
+
+}  // namespace
+
+CsmaFeedbackResult run_csma_feedback(std::size_t n, std::size_t x,
+                                     std::size_t t, RngStream& rng,
+                                     const CsmaFeedbackConfig& cfg) {
+  TCAST_CHECK(x <= n);
+  TCAST_CHECK(cfg.min_cw >= 1 && cfg.max_cw >= cfg.min_cw);
+  TCAST_CHECK(cfg.quiescence_slots >= 1);
+
+  CsmaFeedbackResult result;
+  const bool truth = x >= t;
+
+  std::vector<Contender> pending(x);
+  for (auto& c : pending) {
+    c.cw = cfg.min_cw;
+    c.counter = static_cast<std::size_t>(rng.uniform_below(c.cw));
+  }
+
+  std::size_t idle_run = 0;
+  // Hard stop: even pathological backoff cannot exceed this (every node
+  // needs at most max_cw slots per attempt and collides O(log) times).
+  const std::size_t slot_cap = cfg.quiescence_slots + 4 * (x + 1) * cfg.max_cw;
+
+  while (result.slots < slot_cap) {
+    ++result.slots;
+    std::size_t transmitters = 0;
+    for (const auto& c : pending)
+      if (c.counter == 0) ++transmitters;
+
+    if (transmitters == 0) {
+      // Idle slot: everyone decrements (carrier sense saw a free medium).
+      for (auto& c : pending)
+        if (c.counter > 0) --c.counter;
+      ++idle_run;
+      if (idle_run >= cfg.quiescence_slots) {
+        result.decision = false;  // assumes all replies are in
+        break;
+      }
+      continue;
+    }
+
+    idle_run = 0;
+    if (transmitters == 1) {
+      // Success: remove the transmitter.
+      const auto it = std::find_if(pending.begin(), pending.end(),
+                                   [](const Contender& c) {
+                                     return c.counter == 0;
+                                   });
+      pending.erase(it);
+      ++result.successes;
+      if (result.successes >= t) {
+        result.decision = true;
+        break;
+      }
+    } else {
+      // Collision: colliders double their window and redraw; bystanders
+      // freeze (medium was busy).
+      ++result.collisions;
+      for (auto& c : pending) {
+        if (c.counter == 0) {
+          c.cw = std::min(c.cw * 2, cfg.max_cw);
+          c.counter = 1 + static_cast<std::size_t>(rng.uniform_below(c.cw));
+        }
+      }
+    }
+  }
+
+  result.correct = result.decision == truth;
+  return result;
+}
+
+}  // namespace tcast::mac

@@ -1,0 +1,48 @@
+// CSMA feedback-collection baseline (paper Sec. I & IV-C).
+//
+// "In CSMA, we put no restriction on the reply times of the nodes. The nodes
+//  use carrier sensing and send when they sense the medium as idle. In case
+//  of a collision they use exponential backoff..."
+//
+// Slot-accurate model: the x positive nodes contend with binary exponential
+// backoff; counters freeze while the medium is busy (carrier sense); one
+// frame occupies one slot. The initiator terminates as soon as it can
+// conclude:
+//   * t distinct replies received            → threshold reached;
+//   * `quiescence_slots` consecutive idle    → assumes contention is over and
+//     slots                                    declares the threshold
+//                                              unreachable.
+// The quiescence rule is exactly why the paper calls CSMA unable to answer
+// with certainty: a long backoff run can masquerade as silence. The result
+// records whether the decision was actually correct.
+//
+// Cost unit: one slot ≡ one RCD query, the same time axis the paper plots.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace tcast::mac {
+
+struct CsmaFeedbackConfig {
+  std::size_t min_cw = 2;    ///< initial contention window
+  std::size_t max_cw = 64;   ///< BEB cap
+  std::size_t quiescence_slots = 8;  ///< idle run ⇒ "everyone has answered"
+};
+
+struct CsmaFeedbackResult {
+  bool decision = false;      ///< initiator's answer to x ≥ t
+  bool correct = false;       ///< decision == (x ≥ t)
+  std::size_t slots = 0;      ///< elapsed slots until the decision
+  std::size_t successes = 0;  ///< distinct replies received
+  std::size_t collisions = 0; ///< collision slots observed
+};
+
+/// Runs one CSMA feedback-collection session with x positive nodes out of n
+/// and threshold t.
+CsmaFeedbackResult run_csma_feedback(std::size_t n, std::size_t x,
+                                     std::size_t t, RngStream& rng,
+                                     const CsmaFeedbackConfig& cfg = {});
+
+}  // namespace tcast::mac

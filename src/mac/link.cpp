@@ -1,0 +1,64 @@
+#include "mac/link.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::mac {
+
+ReliableLink::ReliableLink(radio::Radio& r, CsmaMac& csma, Config cfg)
+    : radio_(&r),
+      csma_(&csma),
+      cfg_(cfg),
+      timer_(r.simulator(), [this] { on_timeout(); }) {}
+
+void ReliableLink::send_reliable(radio::Frame f,
+                                 std::function<void(bool)> done) {
+  TCAST_CHECK_MSG(!in_flight_, "one reliable transfer at a time");
+  TCAST_CHECK_MSG(f.dest != radio::kBroadcastAddr,
+                  "reliable delivery needs a unicast destination");
+  f.ack_request = true;
+  f.seq = next_seq_++;
+  if (next_seq_ == 0) next_seq_ = 1;
+  in_flight_ = Transfer{std::move(f), std::move(done), 0};
+  attempt();
+}
+
+void ReliableLink::attempt() {
+  Transfer& t = *in_flight_;
+  ++t.attempts;
+  csma_->send(t.frame, [this](bool sent) {
+    if (!in_flight_) return;  // ACK raced ahead of send-done
+    if (!sent) {
+      finish(false);  // channel hopeless (backoffs exhausted)
+      return;
+    }
+    timer_.start_one_shot(cfg_.ack_timeout);
+  });
+}
+
+bool ReliableLink::on_frame(const radio::Frame& f) {
+  if (!in_flight_) return false;
+  const bool is_ack = f.type == radio::FrameType::kHack ||
+                      f.type == radio::FrameType::kAck;
+  if (!is_ack || f.seq != in_flight_->frame.seq) return false;
+  timer_.stop();
+  finish(true);
+  return true;
+}
+
+void ReliableLink::on_timeout() {
+  TCAST_CHECK(in_flight_);
+  if (in_flight_->attempts > cfg_.max_retries) {
+    finish(false);
+    return;
+  }
+  ++retransmissions_;
+  attempt();
+}
+
+void ReliableLink::finish(bool ok) {
+  auto done = std::move(in_flight_->done);
+  in_flight_.reset();
+  if (done) done(ok);
+}
+
+}  // namespace tcast::mac

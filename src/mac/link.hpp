@@ -1,0 +1,58 @@
+// Reliable unicast on top of CSMA: ACK-requested frames with retry.
+//
+// Uses the radio's hardware acknowledgement (the same HACK mechanism
+// backcast exploits) as the delivery confirmation. The owner must forward
+// incoming HACK frames to on_frame() — the radio has a single receive
+// handler and the node firmware owns it.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "mac/csma.hpp"
+#include "sim/timer.hpp"
+
+namespace tcast::mac {
+
+class ReliableLink {
+ public:
+  struct Config {
+    std::size_t max_retries = 3;
+    SimTime ack_timeout = 2 * kMillisecond;
+  };
+
+  ReliableLink(radio::Radio& r, CsmaMac& csma)
+      : ReliableLink(r, csma, Config{}) {}
+  ReliableLink(radio::Radio& r, CsmaMac& csma, Config cfg);
+
+  /// Sends `f` reliably to f.dest; at most one transfer in flight.
+  void send_reliable(radio::Frame f, std::function<void(bool)> done);
+
+  /// Owner forwards received frames here; consumes matching HACK/ACKs.
+  /// Returns true if the frame was consumed by the link layer.
+  bool on_frame(const radio::Frame& f);
+
+  bool busy() const { return in_flight_.has_value(); }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct Transfer {
+    radio::Frame frame;
+    std::function<void(bool)> done;
+    std::size_t attempts = 0;
+  };
+
+  void attempt();
+  void on_timeout();
+  void finish(bool ok);
+
+  radio::Radio* radio_;
+  CsmaMac* csma_;
+  Config cfg_;
+  sim::Timer timer_;
+  std::optional<Transfer> in_flight_;
+  std::uint8_t next_seq_ = 1;
+  std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace tcast::mac

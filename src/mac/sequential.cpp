@@ -1,0 +1,39 @@
+#include "mac/sequential.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tcast::mac {
+
+SequentialResult run_sequential_feedback(std::size_t n, std::size_t x,
+                                         std::size_t t, RngStream& rng) {
+  TCAST_CHECK(x <= n);
+  SequentialResult result;
+  if (t == 0) {  // trivially satisfied before any slot
+    result.decision = true;
+    return result;
+  }
+  // Positions of the positive nodes in the (random) schedule.
+  std::vector<bool> positive(n, false);
+  for (const NodeId id : rng.sample_subset(n, x))
+    positive[static_cast<std::size_t>(id)] = true;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ++result.slots;
+    if (positive[i]) ++result.positives_seen;
+    if (result.positives_seen >= t) {
+      result.decision = true;
+      return result;
+    }
+    const std::size_t remaining = n - i - 1;
+    if (result.positives_seen + remaining < t) {
+      result.decision = false;
+      return result;
+    }
+  }
+  result.decision = result.positives_seen >= t;
+  return result;
+}
+
+}  // namespace tcast::mac

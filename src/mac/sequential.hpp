@@ -1,0 +1,34 @@
+// Sequential-ordering feedback baseline (paper Sec. I & IV-C).
+//
+// The initiator broadcasts a reply schedule assigning every participant a
+// dedicated slot (the paper's time-synchronised variant, which it notes
+// "favors the sequential ordering results"). Slots tick one node at a time —
+// a negative node's slot is spent in silence, a positive node's slot carries
+// its reply. The initiator stops as soon as the answer is decided:
+//   * t positive replies seen                          → true
+//   * positives_so_far + nodes_left < t                → false
+//
+// Cost unit: one slot ≡ one RCD query. Worst case n slots; for x ≪ t the
+// cost is ≈ n − t + x (must exhaust almost the whole schedule to rule the
+// threshold out), matching the paper's "starts with a large cost overhead
+// (approximately n − x)".
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+
+namespace tcast::mac {
+
+struct SequentialResult {
+  bool decision = false;
+  std::size_t slots = 0;
+  std::size_t positives_seen = 0;
+};
+
+/// Runs one sequential-ordering session: x positives among n participants in
+/// a uniformly random schedule order, threshold t.
+SequentialResult run_sequential_feedback(std::size_t n, std::size_t x,
+                                         std::size_t t, RngStream& rng);
+
+}  // namespace tcast::mac

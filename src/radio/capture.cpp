@@ -1,0 +1,67 @@
+#include "radio/capture.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tcast::radio {
+
+GeometricCaptureModel::GeometricCaptureModel(double c, double gamma)
+    : c_(c), gamma_(gamma) {
+  TCAST_CHECK(c >= 0.0 && c <= 1.0);
+  TCAST_CHECK(gamma >= 0.0 && gamma <= 1.0);
+}
+
+double GeometricCaptureModel::capture_probability(std::size_t k) const {
+  TCAST_CHECK(k >= 1);
+  if (k == 1) return 1.0;
+  return c_ * std::pow(gamma_, static_cast<double>(k - 1));
+}
+
+std::optional<std::size_t> GeometricCaptureModel::captured_index(
+    std::size_t k, RngStream& rng) {
+  TCAST_CHECK(k >= 1);
+  if (k == 1) return 0;
+  if (!rng.bernoulli(capture_probability(k))) return std::nullopt;
+  return static_cast<std::size_t>(rng.uniform_below(k));
+}
+
+SinrCaptureModel::SinrCaptureModel(double threshold_db, double fading_sigma_db)
+    : threshold_db_(threshold_db), fading_sigma_db_(fading_sigma_db) {
+  TCAST_CHECK(fading_sigma_db >= 0.0);
+}
+
+std::optional<std::size_t> SinrCaptureModel::captured_index(std::size_t k,
+                                                            RngStream& rng) {
+  TCAST_CHECK(k >= 1);
+  if (k == 1) return 0;
+  // Equal nominal power, independent lognormal shadowing per frame.
+  std::vector<double> mw(k);
+  std::size_t best = 0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double db = rng.normal(0.0, fading_sigma_db_);
+    mw[i] = std::pow(10.0, db / 10.0);
+    total += mw[i];
+    if (mw[i] > mw[best]) best = i;
+  }
+  const double interference = total - mw[best];
+  const double margin = std::pow(10.0, threshold_db_ / 10.0);
+  if (mw[best] >= margin * interference) return best;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> NoCaptureModel::captured_index(std::size_t k,
+                                                          RngStream& rng) {
+  (void)rng;
+  TCAST_CHECK(k >= 1);
+  if (k == 1) return 0;
+  return std::nullopt;
+}
+
+std::unique_ptr<CaptureModel> default_capture_model() {
+  return std::make_unique<GeometricCaptureModel>();
+}
+
+}  // namespace tcast::radio

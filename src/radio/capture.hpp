@@ -1,0 +1,73 @@
+// Capture-effect models.
+//
+// When k > 1 frames overlap at a receiver, real radios sometimes lock onto
+// one of them (Whitehouse et al., EmNetS'05). The 2+ collision model of the
+// paper relies on exactly this. Two interchangeable models:
+//
+//  * GeometricCaptureModel — P(capture | k) = c · γ^(k−1); the direct
+//    parametric form of the paper's "decreasing probability as the number of
+//    messages increase". k = 1 always captures.
+//  * SinrCaptureModel — draws per-frame lognormal fading and captures the
+//    strongest frame iff its power exceeds `threshold ×` the sum of the
+//    rest; physically grounded, capture probability emerges from fading.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+
+namespace tcast::radio {
+
+class CaptureModel {
+ public:
+  virtual ~CaptureModel() = default;
+
+  /// Given k ≥ 1 overlapping distinct frames, returns the index in [0, k) of
+  /// the captured frame, or nullopt if nothing is decodable.
+  /// Contract: k == 1 must always capture (a lone frame is just a frame).
+  virtual std::optional<std::size_t> captured_index(std::size_t k,
+                                                    RngStream& rng) = 0;
+};
+
+class GeometricCaptureModel final : public CaptureModel {
+ public:
+  explicit GeometricCaptureModel(double c = 1.0, double gamma = 0.5);
+
+  std::optional<std::size_t> captured_index(std::size_t k,
+                                            RngStream& rng) override;
+
+  /// P(capture | k) in closed form (used by tests and analysis).
+  double capture_probability(std::size_t k) const;
+
+ private:
+  double c_;
+  double gamma_;
+};
+
+class SinrCaptureModel final : public CaptureModel {
+ public:
+  /// `threshold_db`: required power margin of the winner over the sum of
+  /// interferers; `fading_sigma_db`: lognormal shadowing spread.
+  explicit SinrCaptureModel(double threshold_db = 3.0,
+                            double fading_sigma_db = 6.0);
+
+  std::optional<std::size_t> captured_index(std::size_t k,
+                                            RngStream& rng) override;
+
+ private:
+  double threshold_db_;
+  double fading_sigma_db_;
+};
+
+/// A model that never captures (strict 1+ radios).
+class NoCaptureModel final : public CaptureModel {
+ public:
+  std::optional<std::size_t> captured_index(std::size_t k,
+                                            RngStream& rng) override;
+};
+
+std::unique_ptr<CaptureModel> default_capture_model();
+
+}  // namespace tcast::radio

@@ -1,0 +1,132 @@
+#include "radio/channel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "radio/radio.hpp"
+
+namespace tcast::radio {
+
+Channel::Channel(sim::Simulator& simulator, ChannelConfig cfg)
+    : sim_(&simulator), cfg_(std::move(cfg)) {
+  if (!cfg_.capture) cfg_.capture = std::make_shared<NoCaptureModel>();
+}
+
+void Channel::attach(Radio& r) {
+  TCAST_CHECK(std::find(radios_.begin(), radios_.end(), &r) == radios_.end());
+  radios_.push_back(&r);
+  receptions_.emplace_back(&r, Reception{});
+}
+
+void Channel::detach(Radio& r) {
+  std::erase(radios_, &r);
+  std::erase_if(receptions_,
+                [&r](const auto& entry) { return entry.first == &r; });
+}
+
+Channel::Reception& Channel::reception(Radio& r) {
+  for (auto& [radio, rec] : receptions_)
+    if (radio == &r) return rec;
+  TCAST_CHECK_MSG(false, "radio is not attached to this channel");
+  return receptions_.front().second;  // unreachable
+}
+
+bool Channel::in_range(const Radio& a, const Radio& b) const {
+  if (cfg_.range <= 0.0) return true;
+  const double dx = a.pos_x() - b.pos_x();
+  const double dy = a.pos_y() - b.pos_y();
+  return dx * dx + dy * dy <= cfg_.range * cfg_.range;
+}
+
+bool Channel::busy_near(const Radio& listener) const {
+  for (const auto& [radio, rec] : receptions_)
+    if (radio == &listener) return rec.on_air > 0;
+  return false;
+}
+
+void Channel::begin_transmission(Radio& sender, Frame f) {
+  const SimTime now = sim_->now();
+  const SimTime air = airtime(f);
+  auto tx = std::make_shared<const Tx>(
+      Tx{&sender, std::move(f), now, now + air});
+  ++active_;
+  // Fold the frame into the busy period of every radio that can hear it.
+  for (auto& [radio, rec] : receptions_) {
+    if (radio == &sender) {
+      // A transmitter talking into its own open period corrupts it.
+      if (rec.on_air > 0) rec.sent_own = true;
+      continue;
+    }
+    if (!in_range(sender, *radio)) continue;
+    if (rec.on_air == 0 && rec.frames.empty()) {
+      rec.start = now;
+      rec.sent_own = radio->transmitting();
+    } else if (radio->transmitting()) {
+      rec.sent_own = true;
+    }
+    rec.frames.push_back(tx);
+    ++rec.on_air;
+  }
+  sim_->schedule_at(tx->end, [this, tx] { on_transmission_end(tx); });
+}
+
+void Channel::on_transmission_end(const std::shared_ptr<const Tx>& tx) {
+  TCAST_CHECK(active_ > 0);
+  --active_;
+  if (active_ == 0) ++clusters_resolved_;  // a global busy period drained
+  tx->sender->channel_tx_done();
+  for (auto& [radio, rec] : receptions_) {
+    if (radio == tx->sender || !in_range(*tx->sender, *radio)) continue;
+    TCAST_CHECK(rec.on_air > 0);
+    --rec.on_air;
+    if (rec.on_air == 0) {
+      Reception finished = std::move(rec);
+      rec = Reception{};
+      resolve_reception(*radio, finished);
+    }
+  }
+}
+
+void Channel::resolve_reception(Radio& r, Reception& rec) {
+  if (rec.frames.empty()) return;
+  if (r.state() != RadioState::kRx) return;  // off or mid-transmission
+  const SimTime end = sim_->now();
+  r.channel_activity(rec.start, end);
+  if (rec.sent_own) return;  // half-duplex: sensed energy, decoded nothing
+
+  const std::size_t k = rec.frames.size();
+  RngStream& rng = sim_->rng();
+  const bool all_identical_hacks =
+      std::all_of(rec.frames.begin(), rec.frames.end(),
+                  [&](const std::shared_ptr<const Tx>& tx) {
+                    return hacks_identical(tx->frame,
+                                           rec.frames.front()->frame);
+                  });
+  if (all_identical_hacks && k > 1) {
+    if (cfg_.hack.decodes(k, rng)) {
+      RxInfo info{.superposed = k, .contenders = k, .captured = false,
+                  .start = rec.start, .end = end};
+      r.channel_deliver(rec.frames.front()->frame, info);
+    }
+  } else if (k == 1) {
+    const Frame& frame = rec.frames.front()->frame;
+    const bool is_hack = frame.type == FrameType::kHack;
+    const bool lost = is_hack ? !cfg_.hack.decodes(1, rng)
+                              : rng.bernoulli(cfg_.clean_loss);
+    if (!lost) {
+      RxInfo info{.superposed = 1, .contenders = 1, .captured = false,
+                  .start = rec.start, .end = end};
+      r.channel_deliver(frame, info);
+    }
+  } else {
+    // Destructive collision of distinct frames: capture effect may hand the
+    // receiver one of them.
+    if (const auto idx = cfg_.capture->captured_index(k, rng)) {
+      RxInfo info{.superposed = 1, .contenders = k, .captured = true,
+                  .start = rec.start, .end = end};
+      r.channel_deliver(rec.frames[*idx]->frame, info);
+    }
+  }
+}
+
+}  // namespace tcast::radio

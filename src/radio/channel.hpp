@@ -1,0 +1,132 @@
+// Broadcast channel with receiver-centric collision resolution.
+//
+// Reception is resolved per receiver over its *busy period*: the maximal
+// interval of continuous audible energy at that radio. When a busy period
+// drains, the audible frames it accumulated are adjudicated:
+//
+//   1 frame                → clean delivery (subject to i.i.d. link loss;
+//                            a lone HACK passes the HACK-miss model)
+//   k identical HACKs      → non-destructive superposition; decoded with
+//                            probability 1 − miss(k) (HackReceptionModel)
+//   k distinct frames      → destructive collision; CaptureModel may hand
+//                            one frame to the receiver (the 2+ model's
+//                            capture effect), otherwise only energy is seen
+//
+// Every busy period also raises an *activity* indication — the CCA/RSSI
+// signal pollcast's receiver-side collision detection is built on. A radio
+// that transmitted during the period senses energy but decodes nothing
+// (half-duplex).
+//
+// With the default infinite range all radios share every busy period — the
+// paper's singlehop model. A finite unit-disk `range` makes audibility,
+// CCA and collisions local, which is what produces hidden terminals and
+// neighbouring-region interference in multihop topologies (the paper's
+// future-work setting). Positions must not change while frames are on the
+// air.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "radio/capture.hpp"
+#include "radio/frame.hpp"
+#include "radio/hack_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast::radio {
+
+class Radio;
+
+/// PHY timing constants (802.15.4 @ 250 kbps; 1 symbol = 16 µs).
+struct PhyParams {
+  SimTime byte_time = 32 * kMicrosecond;     ///< 2 symbols per byte
+  SimTime turnaround = 192 * kMicrosecond;   ///< aTurnaroundTime (12 symbols)
+  SimTime sifs = 192 * kMicrosecond;
+  SimTime backoff_slot = 320 * kMicrosecond; ///< aUnitBackoffPeriod
+  SimTime cca_time = 128 * kMicrosecond;     ///< 8 symbols
+};
+
+struct ChannelConfig {
+  PhyParams phy;
+  double clean_loss = 0.0;  ///< i.i.d. per-receiver loss for lone frames
+  HackReceptionModel hack = HackReceptionModel::ideal();
+  std::shared_ptr<CaptureModel> capture;  ///< nullptr = NoCaptureModel
+  /// Unit-disk reception range in metres; 0 = infinite (every radio hears
+  /// every other — the paper's singlehop model). A finite range makes
+  /// reception, CCA and collisions *per-receiver*, which is what produces
+  /// hidden terminals and neighbouring-region interference in multihop
+  /// topologies (the paper's future-work setting).
+  double range = 0.0;
+};
+
+/// Reception metadata handed to radios alongside a delivered frame.
+struct RxInfo {
+  std::size_t superposed = 1;  ///< HACK superposition multiplicity
+  std::size_t contenders = 1;  ///< overlapping frames in the cluster
+  bool captured = false;       ///< true when won via capture effect
+  SimTime start = 0;           ///< cluster start
+  SimTime end = 0;             ///< cluster end (delivery time)
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulator& simulator, ChannelConfig cfg);
+
+  sim::Simulator& simulator() { return *sim_; }
+  const PhyParams& phy() const { return cfg_.phy; }
+
+  void attach(Radio& r);
+  void detach(Radio& r);
+
+  /// Starts a transmission; the frame occupies the medium for airtime(f).
+  /// Called by Radio::transmit.
+  void begin_transmission(Radio& sender, Frame f);
+
+  /// True while any transmission is on the air anywhere (global view).
+  bool busy() const { return active_ > 0; }
+
+  /// True while a transmission audible at `listener` is on the air — the
+  /// CCA signal a real radio samples. Equals busy() for infinite range.
+  bool busy_near(const Radio& listener) const;
+
+  /// Unit-disk audibility between two radios.
+  bool in_range(const Radio& a, const Radio& b) const;
+
+  SimTime airtime(const Frame& f) const {
+    return static_cast<SimTime>(f.air_bytes()) * cfg_.phy.byte_time;
+  }
+
+  /// Lifetime count of global busy periods (diagnostics / tests).
+  std::uint64_t clusters_resolved() const { return clusters_resolved_; }
+
+ private:
+  struct Tx {
+    Radio* sender;
+    Frame frame;
+    SimTime start;
+    SimTime end;
+  };
+
+  /// Per-receiver busy-period state.
+  struct Reception {
+    SimTime start = 0;
+    std::size_t on_air = 0;   ///< audible foreign frames still transmitting
+    bool sent_own = false;    ///< this radio transmitted during the period
+    std::vector<std::shared_ptr<const Tx>> frames;
+  };
+
+  void on_transmission_end(const std::shared_ptr<const Tx>& tx);
+  void resolve_reception(Radio& r, Reception& rec);
+
+  sim::Simulator* sim_;
+  ChannelConfig cfg_;
+  std::vector<Radio*> radios_;
+  std::vector<std::pair<Radio*, Reception>> receptions_;  ///< by attach order
+  std::size_t active_ = 0;  ///< transmissions on the air anywhere
+  std::uint64_t clusters_resolved_ = 0;
+
+  Reception& reception(Radio& r);
+};
+
+}  // namespace tcast::radio

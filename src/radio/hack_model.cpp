@@ -1,0 +1,24 @@
+#include "radio/hack_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcast::radio {
+
+HackReceptionModel::HackReceptionModel(double fn1, double beta)
+    : fn1_(fn1), beta_(beta) {
+  TCAST_CHECK(fn1 >= 0.0 && fn1 <= 1.0);
+  TCAST_CHECK(beta >= 0.0 && beta <= 1.0);
+}
+
+double HackReceptionModel::miss_probability(std::size_t k) const {
+  TCAST_CHECK(k >= 1);
+  return fn1_ * std::pow(beta_, static_cast<double>(k - 1));
+}
+
+bool HackReceptionModel::decodes(std::size_t k, RngStream& rng) const {
+  return !rng.bernoulli(miss_probability(k));
+}
+
+}  // namespace tcast::radio

@@ -1,0 +1,122 @@
+#include "rcd/pollcast.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::rcd {
+
+PollcastResponder::PollcastResponder(radio::Radio& r, PredicateEval eval)
+    : radio_(&r), sim_(&r.simulator()), eval_(std::move(eval)) {
+  TCAST_CHECK(eval_ != nullptr);
+  // Pollcast replies are explicit frames; hardware acking stays out of the
+  // vote window.
+  radio_->set_auto_ack(false);
+}
+
+bool PollcastResponder::on_frame(const radio::Frame& f) {
+  switch (f.type) {
+    case radio::FrameType::kPredicate: {
+      const auto me = static_cast<std::size_t>(radio_->owner());
+      std::uint16_t bin = kNotInRound;
+      if (me < f.assignment.size()) bin = f.assignment[me];
+      positive_ = bin != kNotInRound && eval_(f.predicate_id);
+      my_bin_ = positive_ ? std::optional<std::uint16_t>(bin) : std::nullopt;
+      return true;
+    }
+    case radio::FrameType::kPoll: {
+      if (!positive_ || !my_bin_ || *my_bin_ != f.bin_index) return true;
+      radio::Frame reply;
+      reply.type = radio::FrameType::kReply;
+      reply.src = participant_addr(radio_->owner());
+      reply.dest = f.src;  // whoever polled collects the votes
+      reply.seq = f.seq;
+      reply.session = f.session;
+      sim_->schedule_after(radio_->phy().sifs, [this, reply] {
+        if (radio_->is_on() && !radio_->transmitting())
+          radio_->transmit(reply);
+      });
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+PollcastInitiator::PollcastInitiator(radio::Radio& r, Config cfg)
+    : radio_(&r),
+      sim_(&r.simulator()),
+      cfg_(cfg),
+      window_timer_(r.simulator(), [this] {
+        TCAST_CHECK(awaiting_votes_);
+        awaiting_votes_ = false;
+        auto done = std::move(poll_done_);
+        poll_done_ = nullptr;
+        done(pending_result_);
+      }) {
+  radio_->set_auto_ack(false);
+}
+
+void PollcastInitiator::announce(std::uint8_t predicate_id,
+                                 std::uint32_t session,
+                                 std::vector<std::uint16_t> assignment,
+                                 std::function<void()> done) {
+  TCAST_CHECK_MSG(!awaiting_votes_, "announce during an open vote window");
+  radio::Frame f;
+  f.type = radio::FrameType::kPredicate;
+  f.src = radio_->short_address();
+  f.dest = radio::kBroadcastAddr;
+  f.seq = next_seq_++;
+  f.session = session;
+  f.predicate_id = predicate_id;
+  f.assignment = std::move(assignment);
+  outstanding_session_ = session;
+  const SimTime settle =
+      radio_->channel().airtime(f) + radio_->phy().turnaround;
+  radio_->transmit(std::move(f));
+  sim_->schedule_after(settle, std::move(done));
+}
+
+void PollcastInitiator::poll_bin(std::uint16_t bin,
+                                 std::function<void(PollResult)> done) {
+  TCAST_CHECK_MSG(!awaiting_votes_, "one poll at a time");
+  radio::Frame f;
+  f.type = radio::FrameType::kPoll;
+  f.src = radio_->short_address();
+  f.dest = radio::kBroadcastAddr;  // bin filtering is in the payload
+  f.seq = next_seq_++;
+  f.session = outstanding_session_;
+  f.bin_index = bin;
+
+  radio::Frame probe;  // a representative Reply, for window sizing
+  probe.type = radio::FrameType::kReply;
+  const SimTime window = radio_->channel().airtime(f) + radio_->phy().sifs +
+                         radio_->channel().airtime(probe) + cfg_.slack;
+  awaiting_votes_ = true;
+  pending_result_ = PollResult{};
+  poll_done_ = std::move(done);
+  window_start_ = sim_->now() + radio_->channel().airtime(f);
+  radio_->transmit(std::move(f));
+  window_timer_.start_one_shot(window);
+}
+
+bool PollcastInitiator::on_frame(const radio::Frame& f,
+                                 const radio::RxInfo& info) {
+  (void)info;
+  if (!awaiting_votes_) return false;
+  if (f.type != radio::FrameType::kReply) return false;
+  if (f.session != outstanding_session_) return false;
+  pending_result_.activity = true;
+  pending_result_.captured = addr_to_participant(f.src);
+  return true;
+}
+
+void PollcastInitiator::on_activity(SimTime start, SimTime end) {
+  (void)start;
+  if (!awaiting_votes_) return;
+  // Energy overlapping the vote window counts (RCD is receiver-side: the
+  // initiator samples CCA/RSSI after its own poll transmission, so any
+  // cluster whose energy extends past the poll is sensed — including
+  // foreign traffic, which is pollcast's interference weakness).
+  if (end > window_start_) pending_result_.activity = true;
+}
+
+}  // namespace tcast::rcd

@@ -1,0 +1,69 @@
+#include "rfid/gen2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tcast::rfid {
+
+InventoryResult run_inventory(std::size_t population, RngStream& rng,
+                              const InventoryConfig& cfg) {
+  InventoryResult result;
+  std::size_t unread = population;
+  double qfp = static_cast<double>(cfg.q0);
+
+  while (unread > 0) {
+    ++result.frames;
+    const auto q = static_cast<std::size_t>(std::lround(qfp));
+    const std::size_t frame_slots = std::size_t{1} << std::min(q, cfg.q_max);
+    // Deal the unread tags into slots.
+    std::vector<std::size_t> occupancy(frame_slots, 0);
+    for (std::size_t tag = 0; tag < unread; ++tag)
+      ++occupancy[static_cast<std::size_t>(rng.uniform_below(frame_slots))];
+
+    for (std::size_t slot = 0; slot < frame_slots; ++slot) {
+      ++result.slots;
+      if (occupancy[slot] == 0) {
+        ++result.idles;
+        qfp = std::max(0.0, qfp - cfg.q_step);
+      } else if (occupancy[slot] == 1) {
+        ++result.reads;
+        --unread;
+        if (cfg.stop_after_reads > 0 &&
+            result.reads >= cfg.stop_after_reads) {
+          return result;  // early stop: threshold reached
+        }
+      } else {
+        ++result.collisions;
+        qfp = std::min(static_cast<double>(cfg.q_max), qfp + cfg.q_step);
+      }
+      if (cfg.max_slots > 0 && result.slots >= cfg.max_slots) return result;
+      // Frame restart heuristic: if the frame is badly mis-sized (Qfp moved
+      // a full step away from the frame's Q), abandon it early.
+      const auto current_q = static_cast<std::size_t>(std::lround(qfp));
+      if (current_q != std::min(q, cfg.q_max) && occupancy[slot] != 1) break;
+    }
+  }
+  result.complete = unread == 0;
+  return result;
+}
+
+InventoryThresholdResult inventory_threshold(std::size_t population,
+                                             std::size_t t, RngStream& rng,
+                                             const InventoryConfig& cfg) {
+  InventoryThresholdResult out;
+  if (t == 0) {
+    out.decision = true;
+    return out;
+  }
+  InventoryConfig stopped = cfg;
+  stopped.stop_after_reads = t;
+  const auto census = run_inventory(population, rng, stopped);
+  out.decision = census.reads >= t;
+  out.slots = census.slots;
+  out.reads = census.reads;
+  return out;
+}
+
+}  // namespace tcast::rfid

@@ -1,0 +1,45 @@
+#include "rfid/rcd_channel.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::rfid {
+
+RcdTagChannel::RcdTagChannel(const TagField& field, RngStream& rng,
+                             Config cfg)
+    : QueryChannel(cfg.model), field_(&field), rng_(&rng), cfg_(cfg) {
+  if (!cfg_.capture)
+    cfg_.capture = std::make_shared<radio::GeometricCaptureModel>();
+  TCAST_CHECK(cfg_.miss_prob >= 0.0 && cfg_.miss_prob <= 1.0);
+}
+
+bool RcdTagChannel::responds(NodeId id) const {
+  const Tag& tag = field_->tag(id);
+  return tag.powered && tag.sku == cfg_.sku;
+}
+
+std::optional<std::size_t> RcdTagChannel::oracle_positive_count(
+    std::span<const NodeId> nodes) const {
+  std::size_t count = 0;
+  for (const NodeId id : nodes)
+    if (responds(id)) ++count;
+  return count;
+}
+
+group::BinQueryResult RcdTagChannel::do_query_set(
+    std::span<const NodeId> nodes) {
+  std::vector<NodeId> repliers;
+  for (const NodeId id : nodes)
+    if (responds(id)) repliers.push_back(id);
+
+  if (repliers.empty()) return group::BinQueryResult::empty();
+  if (repliers.size() == 1 && rng_->bernoulli(cfg_.miss_prob))
+    return group::BinQueryResult::empty();  // weak lone backscatter missed
+
+  if (model() == group::CollisionModel::kOnePlus)
+    return group::BinQueryResult::activity();
+  const auto idx = cfg_.capture->captured_index(repliers.size(), *rng_);
+  if (idx) return group::BinQueryResult::captured_node(repliers[*idx]);
+  return group::BinQueryResult::activity();
+}
+
+}  // namespace tcast::rfid

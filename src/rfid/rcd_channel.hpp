@@ -1,0 +1,53 @@
+// RcdTagChannel — the tcast QueryChannel over an RFID tag field.
+//
+// A query addresses a subset of tags (reader Select with an EPC mask /
+// explicit handle list) and spends one reply slot:
+//   0 matching powered tags  → idle slot            (kEmpty)
+//   1 matching powered tag   → clean backscatter    (2+: kCaptured — the
+//                              reader decodes the EPC; 1+: kActivity)
+//   ≥2                       → collided slot        (kActivity; the capture
+//                              model may still pull one EPC out, as real
+//                              readers sometimes do)
+//
+// With this adapter every tcast algorithm (2tBins, ABNS, ...) runs
+// unchanged over a tag population — the paper's RFID claim, made literal.
+#pragma once
+
+#include <memory>
+
+#include "group/query_channel.hpp"
+#include "radio/capture.hpp"
+#include "rfid/tag.hpp"
+
+namespace tcast::rfid {
+
+class RcdTagChannel final : public group::QueryChannel {
+ public:
+  struct Config {
+    group::CollisionModel model = group::CollisionModel::kTwoPlus;
+    Sku sku = 0;               ///< the SKU the query predicate matches
+    double miss_prob = 0.0;    ///< per-slot chance a lone reply is missed
+    std::shared_ptr<radio::CaptureModel> capture;  ///< nullptr = geometric
+  };
+
+  /// `field` and `rng` are borrowed and must outlive the channel.
+  RcdTagChannel(const TagField& field, RngStream& rng, Config cfg);
+
+  Sku sku() const { return cfg_.sku; }
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override;
+
+ protected:
+  group::BinQueryResult do_query_set(
+      std::span<const NodeId> nodes) override;
+
+ private:
+  bool responds(NodeId id) const;
+
+  const TagField* field_;
+  RngStream* rng_;
+  Config cfg_;
+};
+
+}  // namespace tcast::rfid

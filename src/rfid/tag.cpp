@@ -1,0 +1,52 @@
+#include "rfid/tag.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace tcast::rfid {
+
+TagField TagField::make(std::size_t total, std::size_t matching,
+                        Sku target_sku, RngStream& rng) {
+  TCAST_CHECK(matching <= total);
+  std::vector<Tag> tags(total);
+  // Choose which population slots carry the target SKU.
+  std::vector<bool> is_match(total, false);
+  for (const NodeId id : rng.sample_subset(total, matching))
+    is_match[static_cast<std::size_t>(id)] = true;
+
+  std::unordered_set<std::uint64_t> used_epcs;
+  Sku other_sku = target_sku;
+  for (std::size_t i = 0; i < total; ++i) {
+    Tag& t = tags[i];
+    t.id = static_cast<NodeId>(i);
+    do {
+      t.epc = rng.bits();
+    } while (!used_epcs.insert(t.epc).second);
+    t.sku = is_match[i] ? target_sku : ++other_sku;
+    t.powered = true;
+  }
+  return TagField(std::move(tags));
+}
+
+std::vector<NodeId> TagField::all_ids() const {
+  std::vector<NodeId> out(tags_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+std::vector<NodeId> TagField::matching(Sku sku) const {
+  std::vector<NodeId> out;
+  for (const Tag& t : tags_)
+    if (t.powered && t.sku == sku) out.push_back(t.id);
+  return out;
+}
+
+void TagField::depower_fraction(double fraction, RngStream& rng) {
+  TCAST_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  for (Tag& t : tags_)
+    if (rng.bernoulli(fraction)) t.powered = false;
+}
+
+}  // namespace tcast::rfid

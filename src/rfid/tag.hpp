@@ -1,0 +1,62 @@
+// Passive RFID tag population model.
+//
+// The paper argues (Sec. I, II-C, VII) that tcast carries over to RFID
+// inventory management: a reader's Select command addresses the subset of
+// tags matching an EPC mask — exactly a bin — and detecting "no reply /
+// one reply / collision" in a slot is the same RCD primitive. This module
+// models the tag population; rfid/gen2.hpp provides the conventional
+// frame-slotted-ALOHA census baseline and rfid/rcd_channel.hpp plugs the
+// population into the tcast stack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tcast::rfid {
+
+/// Stock-keeping unit identifier encoded in the EPC.
+using Sku = std::uint32_t;
+
+struct Tag {
+  NodeId id = 0;           ///< dense population index
+  std::uint64_t epc = 0;   ///< electronic product code (unique)
+  Sku sku = 0;
+  bool powered = true;     ///< unpowered tags never respond (field nulls)
+};
+
+/// A physical tag population in a reader's field.
+class TagField {
+ public:
+  /// Builds `total` tags; `matching` of them carry `target_sku`, the rest
+  /// get distinct other SKUs. EPCs are unique and randomised.
+  static TagField make(std::size_t total, std::size_t matching,
+                       Sku target_sku, RngStream& rng);
+
+  std::size_t size() const { return tags_.size(); }
+  const Tag& tag(NodeId id) const {
+    return tags_.at(static_cast<std::size_t>(id));
+  }
+  Tag& tag(NodeId id) { return tags_.at(static_cast<std::size_t>(id)); }
+  std::span<const Tag> tags() const { return tags_; }
+
+  /// All tag ids (the participant set for threshold queries).
+  std::vector<NodeId> all_ids() const;
+
+  /// Ids of powered tags matching `sku`.
+  std::vector<NodeId> matching(Sku sku) const;
+  std::size_t matching_count(Sku sku) const { return matching(sku).size(); }
+
+  /// Depowers a fraction of tags (field nulls / weak backscatter).
+  void depower_fraction(double fraction, RngStream& rng);
+
+ private:
+  explicit TagField(std::vector<Tag> tags) : tags_(std::move(tags)) {}
+
+  std::vector<Tag> tags_;
+};
+
+}  // namespace tcast::rfid

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::sim {
+
+EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto erased = callbacks_.erase(id);
+  if (erased == 0) return false;
+  --live_;
+  return true;  // heap tombstone skipped on pop
+}
+
+void EventQueue::skip_dead() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end())
+    heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  TCAST_CHECK(!empty());
+  skip_dead();
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  TCAST_CHECK(!empty());
+  skip_dead();
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  TCAST_DCHECK(it != callbacks_.end());
+  Fired fired{top.time, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+}  // namespace tcast::sim

@@ -1,0 +1,64 @@
+// Pending-event set for the discrete-event kernel.
+//
+// Ordering is (time, sequence): events at equal times fire in scheduling
+// order, which makes runs fully deterministic. Cancellation is lazy — the
+// heap keeps a tombstone and the callback map drops the closure immediately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tcast::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancellation. 0 is never issued.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. `t` may equal the time of the
+  /// event currently executing (same-time follow-ups run later this step).
+  EventId schedule(SimTime t, EventFn fn);
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as sequence number: monotonically increasing
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  void skip_dead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tcast::sim

@@ -1,0 +1,39 @@
+#include "sim/timer.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::sim {
+
+void Timer::start_one_shot(SimTime delay) {
+  stop();
+  period_ = 0;
+  arm(delay);
+}
+
+void Timer::start_periodic(SimTime period) {
+  TCAST_CHECK(period > 0);
+  stop();
+  period_ = period;
+  arm(period);
+}
+
+void Timer::stop() {
+  if (pending_ != 0) {
+    sim_->cancel(pending_);
+    pending_ = 0;
+  }
+  period_ = 0;
+}
+
+void Timer::arm(SimTime delay) {
+  pending_ = sim_->schedule_after(delay, [this] { on_fire(); });
+}
+
+void Timer::on_fire() {
+  pending_ = 0;
+  const SimTime period = period_;
+  fired_();  // may stop() or re-start this timer
+  if (period != 0 && period_ == period && pending_ == 0) arm(period);
+}
+
+}  // namespace tcast::sim

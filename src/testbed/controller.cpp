@@ -1,0 +1,184 @@
+#include "testbed/controller.hpp"
+
+#include "common/check.hpp"
+#include "core/registry.hpp"
+#include "rcd/addressing.hpp"
+
+namespace tcast::testbed {
+
+// --- MoteQueryChannel ---
+
+MoteQueryChannel::MoteQueryChannel(Testbed& bench)
+    : QueryChannel(group::CollisionModel::kOnePlus), bench_(&bench) {}
+
+void MoteQueryChannel::do_announce(const group::BinAssignment& a) {
+  const auto wire = a.to_wire(bench_->participant_count());
+  if (wire == announced_wire_) return;
+  ++session_;
+  bool done = false;
+  bench_->initiator().backcast().announce(/*predicate_id=*/1, session_, wire,
+                                          [&done] { done = true; });
+  bench_->settle_until([&done] { return done; });
+  TCAST_CHECK(done);
+  announced_wire_ = wire;
+}
+
+group::BinQueryResult MoteQueryChannel::poll(std::uint16_t bin,
+                                             std::size_t true_positives) {
+  group::BinQueryResult result;
+  bool done = false;
+  bench_->initiator().backcast().poll_bin(
+      bin, [&](rcd::BackcastInitiator::PollResult r) {
+        result = r.nonempty ? group::BinQueryResult::activity()
+                            : group::BinQueryResult::empty();
+        done = true;
+      });
+  bench_->settle_until([&done] { return done; });
+  TCAST_CHECK(done);
+  bin_events_.push_back(BinEvent{true_positives, result.nonempty()});
+  return result;
+}
+
+group::BinQueryResult MoteQueryChannel::do_query_bin(
+    const group::BinAssignment& a, std::size_t idx) {
+  do_announce(a);
+  return poll(static_cast<std::uint16_t>(idx),
+              bench_->positive_count(a.bin(idx)));
+}
+
+group::BinQueryResult MoteQueryChannel::do_query_set(
+    std::span<const NodeId> nodes) {
+  std::vector<std::uint16_t> wire(bench_->participant_count(),
+                                  rcd::kNotInRound);
+  for (const NodeId id : nodes) wire.at(static_cast<std::size_t>(id)) = 0;
+  if (wire != announced_wire_) {
+    ++session_;
+    bool done = false;
+    bench_->initiator().backcast().announce(1, session_, wire,
+                                            [&done] { done = true; });
+    bench_->settle_until([&done] { return done; });
+    TCAST_CHECK(done);
+    announced_wire_ = wire;
+  }
+  return poll(0, bench_->positive_count(nodes));
+}
+
+// --- Testbed ---
+
+Testbed::Testbed(Config cfg)
+    : cfg_(std::move(cfg)),
+      binning_rng_(cfg_.seed ^ 0x5eedb1a5u, cfg_.stream + 1) {
+  if (cfg_.radio_irregularity &&
+      cfg_.channel.hack.fn1() == 0.0) {
+    cfg_.channel.hack = radio::HackReceptionModel();  // calibrated defaults
+  }
+  sim_ = std::make_unique<sim::Simulator>(cfg_.seed, cfg_.stream);
+  radio_channel_ = std::make_unique<radio::Channel>(*sim_, cfg_.channel);
+
+  // Serial port 0 is the initiator's. Every command is acknowledged over
+  // the wire; settle() drains the bench until all outstanding acks arrive
+  // (which also works when an interference source keeps the radio event
+  // queue busy forever).
+  serials_.push_back(
+      std::make_unique<SerialPort>(*sim_, cfg_.serial_latency));
+  serials_.back()->bind_laptop(
+      [this](const Response&) { ++acks_received_; });
+  initiator_ = std::make_unique<InitiatorMote>(*radio_channel_, *serials_[0]);
+  for (std::size_t i = 0; i < cfg_.participants; ++i) {
+    serials_.push_back(
+        std::make_unique<SerialPort>(*sim_, cfg_.serial_latency));
+    serials_.back()->bind_laptop(
+        [this](const Response&) { ++acks_received_; });
+    participants_.push_back(std::make_unique<ParticipantMote>(
+        *radio_channel_, static_cast<NodeId>(i), *serials_.back()));
+  }
+  query_channel_ = std::make_unique<MoteQueryChannel>(*this);
+  if (cfg_.interference_duty > 0.0) {
+    radio::InterferenceSource::Config icfg;
+    icfg.duty = cfg_.interference_duty;
+    interference_ =
+        std::make_unique<radio::InterferenceSource>(*radio_channel_, icfg);
+    interference_->start();
+  }
+}
+
+Testbed::~Testbed() = default;
+
+std::vector<NodeId> Testbed::all_nodes() const {
+  std::vector<NodeId> out(participants_.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<NodeId>(i);
+  return out;
+}
+
+void Testbed::settle() {
+  sim_->run_until_flag(
+      [this] { return acks_received_ >= acks_expected_; });
+  TCAST_CHECK_MSG(acks_received_ >= acks_expected_,
+                  "serial command was never acknowledged");
+}
+
+void Testbed::settle_until(const std::function<bool()>& done) {
+  sim_->run_until_flag(done);
+}
+
+void Testbed::send_command(std::size_t serial_index, Command cmd) {
+  ++acks_expected_;
+  serials_.at(serial_index)->send_command(std::move(cmd));
+}
+
+void Testbed::configure_predicates(const std::vector<bool>& positive) {
+  TCAST_CHECK(positive.size() == participants_.size());
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    send_command(i + 1, ConfigureCmd{.predicate_positive = positive[i],
+                                     .predicate_id = 1});
+  }
+  settle();
+}
+
+void Testbed::reboot_all() {
+  for (std::size_t i = 0; i < serials_.size(); ++i)
+    send_command(i, RebootCmd{});
+  settle();
+}
+
+bool Testbed::is_positive(NodeId id) const {
+  return participants_.at(static_cast<std::size_t>(id))->predicate_positive();
+}
+
+std::size_t Testbed::positive_count(std::span<const NodeId> nodes) const {
+  std::size_t count = 0;
+  for (const NodeId id : nodes)
+    if (is_positive(id)) ++count;
+  return count;
+}
+
+core::EngineOptions Testbed::realistic_options() {
+  core::EngineOptions opts;
+  opts.ordering = core::BinOrdering::kInOrder;
+  opts.two_plus_activity_counts_two = false;
+  return opts;
+}
+
+Testbed::RunResult Testbed::run_query(std::size_t t,
+                                      std::string_view algorithm,
+                                      const core::EngineOptions& opts) {
+  const auto* spec = core::find_algorithm(algorithm);
+  TCAST_CHECK_MSG(spec != nullptr, "unknown algorithm on the testbed");
+  TCAST_CHECK_MSG(!spec->needs_oracle,
+                  "oracle algorithms cannot run on the real bench");
+  // Stimulate the initiator over serial (matches the paper's methodology;
+  // the command itself is bookkeeping, the session below is the real work).
+  send_command(0, QueryCmd{t, std::string(algorithm)});
+  settle();
+
+  const auto nodes = all_nodes();
+  RunResult result;
+  result.outcome =
+      spec->run(*query_channel_, nodes, t, binning_rng_, opts);
+  result.truth = positive_count(nodes) >= t;
+  result.correct = result.outcome.decision == result.truth;
+  return result;
+}
+
+}  // namespace tcast::testbed

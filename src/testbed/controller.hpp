@@ -1,0 +1,131 @@
+// The controlling laptop plus the full emulated bench (Sec. IV-D.2): one
+// initiator and N participant TelosB motes on a shared channel, each wired
+// to the controller over its own serial port.
+//
+// The controller drives the bench from *outside* the simulation, exactly as
+// the real laptop did: it issues serial commands, runs the simulator until
+// the bench settles, then stimulates the initiator to run a tcast session.
+// The initiator's query loop is exposed to the algorithm layer through
+// MoteQueryChannel, which resolves every query by running the actual
+// backcast exchange on the emulated radios.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/round_engine.hpp"
+#include "group/query_channel.hpp"
+#include "radio/interference.hpp"
+#include "testbed/mote.hpp"
+
+namespace tcast::testbed {
+
+class Testbed;
+
+/// QueryChannel implementation backed by the initiator mote's backcast.
+/// Ground-truth oracle hooks are intentionally NOT implemented: the bench is
+/// a realistic tier and bins are queried in natural order.
+class MoteQueryChannel final : public group::QueryChannel {
+ public:
+  explicit MoteQueryChannel(Testbed& bench);
+
+  struct BinEvent {
+    std::size_t true_positives = 0;  ///< ground truth (controller knows it)
+    bool observed_nonempty = false;
+  };
+  /// Per-query log of the most recent session (error census input).
+  const std::vector<BinEvent>& bin_events() const { return bin_events_; }
+  void clear_bin_events() { bin_events_.clear(); }
+
+ protected:
+  void do_announce(const group::BinAssignment& a) override;
+  group::BinQueryResult do_query_bin(const group::BinAssignment& a,
+                              std::size_t idx) override;
+  group::BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
+
+ private:
+  group::BinQueryResult poll(std::uint16_t bin, std::size_t true_positives);
+
+  Testbed* bench_;
+  std::vector<std::uint16_t> announced_wire_;
+  std::uint32_t session_ = 0;
+  std::vector<BinEvent> bin_events_;
+};
+
+class Testbed {
+ public:
+  struct Config {
+    std::size_t participants = 12;  ///< the paper's bench size
+    radio::ChannelConfig channel;   ///< defaults get the calibrated HACK model
+    std::uint64_t seed = 1;
+    std::uint64_t stream = 0;
+    SimTime serial_latency = kMillisecond;
+    /// Apply the calibrated radio-irregularity model (fn1/β defaults) when
+    /// the caller did not set one. Set false for an ideal bench.
+    bool radio_irregularity = true;
+    /// Foreign cross-traffic duty cycle (the multihop/Kansei future-work
+    /// scenario, Sec. VII). 0 disables it.
+    double interference_duty = 0.0;
+  };
+
+  explicit Testbed(Config cfg);
+  ~Testbed();
+
+  std::size_t participant_count() const { return participants_.size(); }
+  std::vector<NodeId> all_nodes() const;
+
+  /// Serial: configure every participant's predicate value.
+  void configure_predicates(const std::vector<bool>& positive);
+
+  /// Serial: reboot the initiator and every participant.
+  void reboot_all();
+
+  struct RunResult {
+    core::ThresholdOutcome outcome;
+    bool truth = false;    ///< ground truth x ≥ t
+    bool correct = false;  ///< outcome.decision == truth
+  };
+
+  /// Stimulates the initiator to run one tcast session. `algorithm` is a
+  /// registry name; the paper's bench implements 2tBins.
+  RunResult run_query(std::size_t t, std::string_view algorithm = "2tbins",
+                      const core::EngineOptions& opts = realistic_options());
+
+  /// Realistic engine defaults for the bench: natural bin order, no 2+
+  /// shortcuts (backcast is 1+).
+  static core::EngineOptions realistic_options();
+
+  MoteQueryChannel& channel() { return *query_channel_; }
+  sim::Simulator& simulator() { return *sim_; }
+  InitiatorMote& initiator() { return *initiator_; }
+  bool is_positive(NodeId id) const;
+  std::size_t positive_count(std::span<const NodeId> nodes) const;
+
+ private:
+  friend class MoteQueryChannel;
+
+  /// Drains the bench until every issued serial command has been
+  /// acknowledged (interference keeps the event queue busy forever, so
+  /// plain run-to-quiescence is not an option).
+  void settle();
+
+  /// Drains until `done` reports true (protocol-window completions).
+  void settle_until(const std::function<bool()>& done);
+
+  void send_command(std::size_t serial_index, Command cmd);
+
+  Config cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<radio::Channel> radio_channel_;
+  std::vector<std::unique_ptr<SerialPort>> serials_;
+  std::unique_ptr<InitiatorMote> initiator_;
+  std::vector<std::unique_ptr<ParticipantMote>> participants_;
+  std::unique_ptr<MoteQueryChannel> query_channel_;
+  std::unique_ptr<radio::InterferenceSource> interference_;
+  RngStream binning_rng_;
+  std::size_t acks_expected_ = 0;
+  std::size_t acks_received_ = 0;
+};
+
+}  // namespace tcast::testbed

@@ -1,0 +1,72 @@
+#include "testbed/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tcast::testbed {
+
+MoteExperimentResults run_mote_experiment(const MoteExperimentConfig& cfg) {
+  MoteExperimentResults results;
+  results.census.resize(cfg.participants + 1);
+  for (std::size_t k = 0; k <= cfg.participants; ++k)
+    results.census[k].k = k;
+
+  RngStream workload_rng(cfg.seed, 0xA11CE);
+
+  std::size_t bench_stream = 0;
+  for (const std::size_t t : cfg.thresholds) {
+    // A fresh bench per threshold configuration (new seed stream), motes
+    // rebooted between runs, per the paper's methodology.
+    Testbed::Config bench_cfg;
+    bench_cfg.participants = cfg.participants;
+    bench_cfg.seed = cfg.seed;
+    bench_cfg.stream = ++bench_stream;
+    bench_cfg.radio_irregularity = cfg.radio_irregularity;
+    Testbed bench(bench_cfg);
+
+    for (std::size_t x = 0; x <= cfg.participants; ++x) {
+      MoteExperimentPoint point;
+      point.t = t;
+      point.x = x;
+      for (std::size_t run = 0; run < cfg.runs_per_point; ++run) {
+        bench.reboot_all();
+        std::vector<bool> positive(cfg.participants, false);
+        for (const NodeId id : workload_rng.sample_subset(cfg.participants, x))
+          positive[static_cast<std::size_t>(id)] = true;
+        bench.configure_predicates(positive);
+        bench.channel().clear_bin_events();
+
+        const auto run_result = bench.run_query(t, "2tbins");
+        point.queries.add(static_cast<double>(run_result.outcome.queries));
+        ++point.runs;
+        ++results.total_runs;
+        results.total_queries +=
+            static_cast<std::size_t>(run_result.outcome.queries);
+        if (run_result.truth && !run_result.outcome.decision) {
+          ++point.false_negative_runs;
+          ++results.false_negative_runs;
+        }
+        if (!run_result.truth && run_result.outcome.decision) {
+          ++point.false_positive_runs;
+          ++results.false_positive_runs;
+        }
+
+        for (const auto& event : bench.channel().bin_events()) {
+          TCAST_CHECK(event.true_positives < results.census.size());
+          auto& entry = results.census[event.true_positives];
+          ++entry.queried;
+          if (event.true_positives > 0 && !event.observed_nonempty)
+            ++entry.missed;
+          if (event.true_positives == 0 && event.observed_nonempty)
+            ++entry.phantom;
+        }
+      }
+      results.points.push_back(std::move(point));
+    }
+  }
+  return results;
+}
+
+}  // namespace tcast::testbed

@@ -1,0 +1,69 @@
+#include "testbed/mote.hpp"
+
+#include "rcd/addressing.hpp"
+
+namespace tcast::testbed {
+
+ParticipantMote::ParticipantMote(radio::Channel& channel, NodeId id,
+                                 SerialPort& serial)
+    : id_(id), serial_(&serial) {
+  radio_ = std::make_unique<radio::Radio>(channel, id,
+                                          rcd::participant_addr(id));
+  responder_ = std::make_unique<rcd::BackcastResponder>(
+      *radio_, [this](std::uint8_t pred) {
+        return pred == predicate_id_ && predicate_positive_;
+      });
+  radio_->set_receive_handler(
+      [this](const radio::Frame& f, const radio::RxInfo&) {
+        responder_->on_frame(f);
+      });
+  radio_->power_on();
+  serial_->bind_mote([this](const Command& cmd) { handle_command(cmd); });
+}
+
+void ParticipantMote::handle_command(const Command& cmd) {
+  if (const auto* cfg = std::get_if<ConfigureCmd>(&cmd)) {
+    predicate_positive_ = cfg->predicate_positive;
+    predicate_id_ = cfg->predicate_id;
+    serial_->send_response(Response{.ok = true});
+  } else if (std::holds_alternative<RebootCmd>(cmd)) {
+    reboot();
+    serial_->send_response(Response{.ok = true});
+  }
+  // QueryCmd is initiator-only; participants ignore it.
+}
+
+void ParticipantMote::reboot() {
+  predicate_positive_ = false;
+  radio_->set_alt_address(std::nullopt);
+  radio_->set_auto_ack(true);
+  radio_->power_on();
+}
+
+InitiatorMote::InitiatorMote(radio::Channel& channel, SerialPort& serial)
+    : serial_(&serial) {
+  radio_ = std::make_unique<radio::Radio>(channel, kNoNode,
+                                          rcd::kInitiatorAddr);
+  radio_->power_on();
+  initiator_ = std::make_unique<rcd::BackcastInitiator>(*radio_);
+  radio_->set_receive_handler(
+      [this](const radio::Frame& f, const radio::RxInfo& info) {
+        initiator_->on_frame(f, info);
+      });
+  serial_->bind_mote([this](const Command& cmd) { handle_command(cmd); });
+}
+
+void InitiatorMote::handle_command(const Command& cmd) {
+  if (std::holds_alternative<RebootCmd>(cmd)) reboot();
+  // Every serial command is acknowledged immediately (command accepted);
+  // a QueryCmd's actual session is then driven through MoteQueryChannel
+  // and its result surfaces via the controller, not this ack.
+  serial_->send_response(Response{.ok = true});
+}
+
+void InitiatorMote::reboot() {
+  radio_->set_alt_address(std::nullopt);
+  radio_->power_on();
+}
+
+}  // namespace tcast::testbed

@@ -1,0 +1,56 @@
+// Mote firmware emulation (TinyOS-2.0-style, Sec. IV-D).
+//
+// A ParticipantMote owns a radio and a backcast responder; its only state is
+// the configured predicate value, set over serial. An InitiatorMote owns
+// the backcast initiator. Reboot restores power-on state (the experiment
+// reboots every mote between runs "to remove the effect of the previous
+// run").
+#pragma once
+
+#include <memory>
+
+#include "radio/radio.hpp"
+#include "rcd/backcast.hpp"
+#include "testbed/serial_port.hpp"
+
+namespace tcast::testbed {
+
+class ParticipantMote {
+ public:
+  ParticipantMote(radio::Channel& channel, NodeId id, SerialPort& serial);
+
+  NodeId id() const { return id_; }
+  bool predicate_positive() const { return predicate_positive_; }
+  radio::Radio& radio() { return *radio_; }
+
+  void reboot();
+
+ private:
+  void handle_command(const Command& cmd);
+
+  NodeId id_;
+  SerialPort* serial_;
+  std::unique_ptr<radio::Radio> radio_;
+  std::unique_ptr<rcd::BackcastResponder> responder_;
+  bool predicate_positive_ = false;
+  std::uint8_t predicate_id_ = 1;
+};
+
+class InitiatorMote {
+ public:
+  InitiatorMote(radio::Channel& channel, SerialPort& serial);
+
+  radio::Radio& radio() { return *radio_; }
+  rcd::BackcastInitiator& backcast() { return *initiator_; }
+
+  void reboot();
+
+ private:
+  void handle_command(const Command& cmd);
+
+  SerialPort* serial_;
+  std::unique_ptr<radio::Radio> radio_;
+  std::unique_ptr<rcd::BackcastInitiator> initiator_;
+};
+
+}  // namespace tcast::testbed

@@ -1,0 +1,19 @@
+#include "testbed/serial_port.hpp"
+
+#include "common/check.hpp"
+
+namespace tcast::testbed {
+
+void SerialPort::send_command(Command cmd) {
+  TCAST_CHECK_MSG(to_mote_ != nullptr, "serial port has no mote bound");
+  sim_->schedule_after(latency_, [this, cmd = std::move(cmd)] {
+    to_mote_(cmd);
+  });
+}
+
+void SerialPort::send_response(Response rsp) {
+  TCAST_CHECK_MSG(to_laptop_ != nullptr, "serial port has no laptop bound");
+  sim_->schedule_after(latency_, [this, rsp] { to_laptop_(rsp); });
+}
+
+}  // namespace tcast::testbed

@@ -1,0 +1,69 @@
+// Serial back-channel between the controlling laptop and a mote.
+//
+// In the paper's setup (Sec. IV-D.2) every mote hangs off the laptop via a
+// serial interface exposing configure / query / reboot. We model the wire
+// as a latency-delayed, loss-free message pipe inside the simulation; the
+// radio never carries control traffic, exactly as on the real bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast::testbed {
+
+struct ConfigureCmd {
+  bool predicate_positive = false;
+  std::uint8_t predicate_id = 1;
+};
+
+struct QueryCmd {
+  std::size_t threshold = 0;
+  std::string algorithm = "2tbins";
+};
+
+struct RebootCmd {};
+
+using Command = std::variant<ConfigureCmd, QueryCmd, RebootCmd>;
+
+struct Response {
+  bool ok = true;
+  bool decision = false;
+  QueryCount queries = 0;
+};
+
+/// One laptop↔mote serial line.
+class SerialPort {
+ public:
+  using CommandHandler = std::function<void(const Command&)>;
+  using ResponseHandler = std::function<void(const Response&)>;
+
+  SerialPort(sim::Simulator& simulator, SimTime latency = kMillisecond)
+      : sim_(&simulator), latency_(latency) {}
+
+  /// Mote side: register the firmware's command handler.
+  void bind_mote(CommandHandler handler) { to_mote_ = std::move(handler); }
+
+  /// Laptop side: register the controller's response handler.
+  void bind_laptop(ResponseHandler handler) {
+    to_laptop_ = std::move(handler);
+  }
+
+  /// Laptop → mote, delivered after one wire latency.
+  void send_command(Command cmd);
+
+  /// Mote → laptop, delivered after one wire latency.
+  void send_response(Response rsp);
+
+ private:
+  sim::Simulator* sim_;
+  SimTime latency_;
+  CommandHandler to_mote_;
+  ResponseHandler to_laptop_;
+};
+
+}  // namespace tcast::testbed

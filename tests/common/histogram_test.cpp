@@ -1,0 +1,75 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace tcast {
+namespace {
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, AddPlacesInCorrectBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(3.9);
+  h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  h.add(10.0);  // hi boundary also lands in last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.density(1), 0.25);
+}
+
+TEST(Histogram, QuantileOfUniformMass) {
+  Histogram h(0.0, 100.0, 100);
+  RngStream rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform_real(0.0, 100.0));
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, QuantileEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty → lo
+  h.add(5.0);
+  EXPECT_GE(h.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, AsciiRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.5);
+  h.add(1.5);
+  const auto art = h.ascii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // modal bin full
+  EXPECT_NE(art.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcast

@@ -1,0 +1,95 @@
+#include "common/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcast {
+namespace {
+
+TEST(SeriesTable, DeclaresSeriesIdempotently) {
+  SeriesTable t("x");
+  EXPECT_EQ(t.series("a"), 0u);
+  EXPECT_EQ(t.series("b"), 1u);
+  EXPECT_EQ(t.series("a"), 0u);
+  EXPECT_EQ(t.series_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SeriesTable, SetAndAtRoundTrip) {
+  SeriesTable t("x");
+  t.set(1.0, "a", 10.0);
+  t.set(2.0, "a", 20.0);
+  t.set(1.0, "b", 0.5);
+  EXPECT_EQ(t.at(1.0, "a"), 10.0);
+  EXPECT_EQ(t.at(2.0, "a"), 20.0);
+  EXPECT_EQ(t.at(1.0, "b"), 0.5);
+  EXPECT_FALSE(t.at(2.0, "b").has_value());  // missing cell
+  EXPECT_FALSE(t.at(3.0, "a").has_value());  // missing row
+  EXPECT_FALSE(t.at(1.0, "zzz").has_value());  // missing series
+}
+
+TEST(SeriesTable, AxisIsSortedAscending) {
+  SeriesTable t("x");
+  t.set(5.0, "a", 1);
+  t.set(1.0, "a", 1);
+  t.set(3.0, "a", 1);
+  EXPECT_EQ(t.axis(), (std::vector<double>{1.0, 3.0, 5.0}));
+}
+
+TEST(SeriesTable, LateSeriesBackfillsExistingRows) {
+  SeriesTable t("x");
+  t.set(1.0, "a", 10.0);
+  t.set(1.0, "late", 99.0);  // declared after row 1 existed
+  t.set(2.0, "late", 98.0);
+  EXPECT_EQ(t.at(1.0, "late"), 99.0);
+  EXPECT_EQ(t.at(2.0, "late"), 98.0);
+}
+
+TEST(SeriesTable, PrintAlignsAndFillsGapsWithDash) {
+  SeriesTable t("x");
+  t.set(1.0, "alpha", 10.0);
+  t.set(2.0, "beta", 0.125);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("0.125"), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);  // the two missing cells
+}
+
+TEST(SeriesTable, IntegersPrintWithoutDecimals) {
+  SeriesTable t("x");
+  t.set(3.0, "a", 42.0);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_EQ(os.str().find("42.000"), std::string::npos);
+}
+
+TEST(SeriesTable, CsvFormat) {
+  SeriesTable t("x");
+  t.set(1.0, "a", 10.0);
+  t.set(1.0, "b", 0.5);
+  t.set(2.0, "a", 20.0);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,a,b\n1,10,0.500\n2,20,\n");
+}
+
+TEST(SeriesTable, EmptyTablePrintsHeaderOnly) {
+  SeriesTable t("x");
+  t.series("a");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,a\n");
+}
+
+TEST(Banner, FormatsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Fig 1");
+  EXPECT_EQ(os.str(), "\n== Fig 1 ==\n");
+}
+
+}  // namespace
+}  // namespace tcast

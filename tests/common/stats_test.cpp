@@ -1,0 +1,117 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tcast {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (const double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) m2 += (x - mean) * (x - mean);
+  const double var = m2 / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+/// Property: merging partial accumulators equals accumulating everything.
+class StatsMergeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StatsMergeTest, MergeEqualsSequential) {
+  const auto [na, nb] = GetParam();
+  RngStream rng(static_cast<std::uint64_t>(na * 1000 + nb));
+  RunningStats a, b, all;
+  for (int i = 0; i < na; ++i) {
+    const double v = rng.normal(3.0, 7.0);
+    a.add(v);
+    all.add(v);
+  }
+  for (int i = 0; i < nb; ++i) {
+    const double v = rng.normal(-2.0, 0.5);
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatsMergeTest,
+                         ::testing::Values(std::tuple{0, 0}, std::tuple{0, 5},
+                                           std::tuple{5, 0}, std::tuple{1, 1},
+                                           std::tuple{100, 1},
+                                           std::tuple{1, 100},
+                                           std::tuple{1000, 1000}));
+
+TEST(RunningStats, SemShrinksWithSamples) {
+  RngStream rng(99);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.sem(), large.sem());
+}
+
+TEST(RunningStats, ToStringContainsFields) {
+  RunningStats s;
+  s.add(1);
+  s.add(2);
+  const auto str = s.to_string();
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("n=2"), std::string::npos);
+}
+
+TEST(Proportion, ValueAndHalfWidth) {
+  Proportion p;
+  for (int i = 0; i < 100; ++i) p.add(i < 30);
+  EXPECT_DOUBLE_EQ(p.value(), 0.3);
+  EXPECT_EQ(p.trials(), 100u);
+  EXPECT_EQ(p.successes(), 30u);
+  // 1.96 * sqrt(0.3*0.7/100) ≈ 0.0898
+  EXPECT_NEAR(p.half_width95(), 0.0898, 0.001);
+}
+
+TEST(Proportion, EmptyIsZero) {
+  Proportion p;
+  EXPECT_EQ(p.value(), 0.0);
+  EXPECT_EQ(p.half_width95(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcast

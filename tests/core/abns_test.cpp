@@ -1,0 +1,145 @@
+// ABNS-specific behaviour: the p-estimate dynamics and the probabilistic
+// variants, beyond the correctness grid in round_engine_test.
+#include <gtest/gtest.h>
+
+#include "common/monte_carlo.hpp"
+#include "core/abns.hpp"
+#include "core/probabilistic_abns.hpp"
+#include "core/two_t_bins.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+using group::ExactChannel;
+
+TEST(AbnsPolicy, InitialBinsArePZeroPlusOne) {
+  AbnsPolicy policy(AbnsOptions{.p0 = 8.0});
+  std::vector<NodeId> nodes(100);
+  EXPECT_EQ(policy.initial_bins(nodes, 4), 9u);
+}
+
+TEST(AbnsPolicy, DefaultSeedIsTwoT) {
+  AbnsPolicy policy(AbnsOptions{});
+  std::vector<NodeId> nodes(100);
+  EXPECT_EQ(policy.initial_bins(nodes, 5), 11u);  // 2t + 1
+}
+
+TEST(AbnsPolicy, EstimateDropsWhenManyBinsEmpty) {
+  AbnsPolicy policy(AbnsOptions{.p0 = 20.0});
+  std::vector<NodeId> nodes(100);
+  policy.initial_bins(nodes, 10);
+  RoundStats stats;
+  stats.bins = 21;
+  stats.empty_bins = 19;  // nearly everything silent → x is small
+  stats.remaining_threshold = 10;
+  const auto next = policy.next_bins(stats, nodes);
+  EXPECT_LT(next, 21u);
+  EXPECT_LT(policy.current_estimate(), 20.0);
+}
+
+TEST(AbnsPolicy, AllFullGuardGrowsEstimate) {
+  AbnsPolicy policy(AbnsOptions{.p0 = 4.0});
+  std::vector<NodeId> nodes(100);
+  policy.initial_bins(nodes, 10);
+  RoundStats stats;
+  stats.bins = 5;
+  stats.empty_bins = 0;  // Eq. 6 undefined: fallback must grow p
+  stats.remaining_threshold = 10;
+  const auto next = policy.next_bins(stats, nodes);
+  EXPECT_GE(next, 10u);
+  EXPECT_GE(policy.current_estimate(), 8.0);
+}
+
+TEST(AbnsPolicy, CapturedPositivesLeaveTheEstimate) {
+  AbnsPolicy policy(AbnsOptions{.p0 = 10.0});
+  std::vector<NodeId> nodes(100);
+  policy.initial_bins(nodes, 10);
+  RoundStats with_captures;
+  with_captures.bins = 11;
+  with_captures.empty_bins = 4;
+  with_captures.captured = 3;
+  RoundStats without = with_captures;
+  without.captured = 0;
+  AbnsPolicy policy2(AbnsOptions{.p0 = 10.0});
+  policy2.initial_bins(nodes, 10);
+  const auto bins_with = policy.next_bins(with_captures, nodes);
+  const auto bins_without = policy2.next_bins(without, nodes);
+  EXPECT_LT(bins_with, bins_without);
+}
+
+TEST(Abns, EstimateConvergesTowardsTrueX) {
+  // Run ABNS on a known instance and check the final estimate is in the
+  // right ballpark (coarse: the estimator is intentionally rough).
+  MonteCarloConfig mc;
+  mc.trials = 200;
+  const auto mean_queries_p0 = [&](double p0, std::size_t x) {
+    mc.experiment_id = static_cast<std::uint64_t>(p0 * 1000) + x;
+    return run_trials(mc, [p0, x](RngStream& rng) {
+             auto ch = ExactChannel::with_random_positives(128, x, rng);
+             return static_cast<double>(
+                 run_abns(ch, ch.all_nodes(), 16, rng, AbnsOptions{p0})
+                     .queries);
+           })
+        .mean();
+  };
+  // Fig. 5's qualitative content: for x ≪ t, seeding low (p0 = t) beats
+  // seeding high (p0 = 2t).
+  EXPECT_LT(mean_queries_p0(16.0, 2), mean_queries_p0(32.0, 2));
+}
+
+TEST(ProbabilisticAbns, MatchesGroundTruthOnGrid) {
+  for (std::size_t x = 0; x <= 64; x += 4) {
+    RngStream rng(7000 + x);
+    auto ch = ExactChannel::with_random_positives(64, x, rng);
+    const auto out =
+        run_probabilistic_abns(ch, ch.all_nodes(), 8, rng);
+    EXPECT_EQ(out.decision, x >= 8) << "x=" << x;
+  }
+}
+
+TEST(ProbabilisticAbns, HintQueryIsCounted) {
+  RngStream rng(1);
+  auto ch = ExactChannel::with_random_positives(64, 0, rng);
+  const auto out = run_probabilistic_abns(ch, ch.all_nodes(), 8, rng);
+  EXPECT_FALSE(out.decision);
+  EXPECT_GE(out.queries, 1u);
+  EXPECT_EQ(out.queries, ch.queries_used());
+}
+
+TEST(ProbabilisticAbns, SmallThresholdFallsBackCleanly) {
+  RngStream rng(2);
+  auto ch = ExactChannel::with_random_positives(16, 3, rng);
+  const auto out = run_probabilistic_abns(ch, ch.all_nodes(), 1, rng);
+  EXPECT_TRUE(out.decision);
+}
+
+TEST(ProbabilisticAbns, BeatsBothFixedSeedsOnAverageAtSmallX) {
+  // Fig. 6: probabilistic ABNS ≈ min(ABNS(t), ABNS(2t)) at the extremes.
+  MonteCarloConfig mc;
+  mc.trials = 300;
+  const std::size_t n = 128, t = 16, x = 2;
+  const auto mean_of = [&](auto&& runner, std::uint64_t id) {
+    mc.experiment_id = id;
+    return run_trials(mc, [&runner, n, x, t](RngStream& rng) {
+             auto ch = ExactChannel::with_random_positives(n, x, rng);
+             return static_cast<double>(runner(ch, rng, t).queries);
+           })
+        .mean();
+  };
+  const double prob = mean_of(
+      [](ExactChannel& ch, RngStream& rng, std::size_t t2) {
+        return run_probabilistic_abns(ch, ch.all_nodes(), t2, rng);
+      },
+      1);
+  const double abns2t = mean_of(
+      [](ExactChannel& ch, RngStream& rng, std::size_t t2) {
+        return run_abns(ch, ch.all_nodes(), t2, rng,
+                        AbnsOptions{2.0 * static_cast<double>(t2)});
+      },
+      2);
+  EXPECT_LT(prob, abns2t);
+}
+
+}  // namespace
+}  // namespace tcast::core

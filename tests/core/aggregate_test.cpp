@@ -1,0 +1,156 @@
+#include "core/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/monte_carlo.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+using group::CollisionModel;
+using group::ExactChannel;
+
+/// Exhaustive correctness: exact counting is exact for every (n, x, model).
+class ExactCountGrid
+    : public ::testing::TestWithParam<group::CollisionModel> {};
+
+TEST_P(ExactCountGrid, CountsExactlyEverywhere) {
+  for (const std::size_t n : {1u, 2u, 7u, 32u, 100u}) {
+    for (std::size_t x = 0; x <= n; x += (n > 16 ? 5 : 1)) {
+      RngStream rng(n * 1361 + x);
+      ExactChannel::Config cfg;
+      cfg.model = GetParam();
+      auto ch = ExactChannel::with_random_positives(n, x, rng, cfg);
+      const auto out = run_exact_count(ch, ch.all_nodes(), rng);
+      EXPECT_EQ(out.count, x) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModels, ExactCountGrid,
+                         ::testing::Values(CollisionModel::kOnePlus,
+                                           CollisionModel::kTwoPlus),
+                         [](const auto& param_info) {
+                           return param_info.param == CollisionModel::kOnePlus
+                                      ? "OnePlus"
+                                      : "TwoPlus";
+                         });
+
+TEST(ExactCount, EmptySetIsFree) {
+  RngStream rng(1);
+  auto ch = ExactChannel::with_random_positives(8, 3, rng);
+  const auto out = run_exact_count(ch, {}, rng);
+  EXPECT_EQ(out.count, 0u);
+  EXPECT_EQ(out.queries, 0u);
+}
+
+TEST(ExactCount, ZeroPositivesCostsOneQuery) {
+  RngStream rng(2);
+  auto ch = ExactChannel::with_random_positives(1024, 0, rng);
+  const auto out = run_exact_count(ch, ch.all_nodes(), rng);
+  EXPECT_EQ(out.count, 0u);
+  EXPECT_EQ(out.queries, 1u);
+}
+
+TEST(ExactCount, CostIsXLogNOverX) {
+  // Binary splitting bound: queries ≤ c · (x+1) · log2(n/x + 2) + 1.
+  MonteCarloConfig mc;
+  mc.trials = 100;
+  for (const std::size_t x : {1u, 8u, 64u}) {
+    mc.experiment_id = x;
+    const double mean = run_trials(mc, [x](RngStream& rng) {
+                          auto ch = ExactChannel::with_random_positives(
+                              1024, x, rng);
+                          return static_cast<double>(
+                              run_exact_count(ch, ch.all_nodes(), rng)
+                                  .queries);
+                        }).mean();
+    const double bound =
+        3.0 * (static_cast<double>(x) + 1.0) *
+        (std::log2(1024.0 / static_cast<double>(x) + 2.0) + 1.0);
+    EXPECT_LE(mean, bound) << "x=" << x;
+  }
+}
+
+TEST(ExactCount, TwoPlusCapturesReduceQueries) {
+  MonteCarloConfig mc;
+  mc.trials = 150;
+  const auto mean_queries = [&mc](CollisionModel model, std::uint64_t id) {
+    mc.experiment_id = id;
+    return run_trials(mc, [model](RngStream& rng) {
+             ExactChannel::Config cfg;
+             cfg.model = model;
+             auto ch =
+                 ExactChannel::with_random_positives(256, 24, rng, cfg);
+             return static_cast<double>(
+                 run_exact_count(ch, ch.all_nodes(), rng).queries);
+           })
+        .mean();
+  };
+  EXPECT_LT(mean_queries(CollisionModel::kTwoPlus, 2),
+            mean_queries(CollisionModel::kOnePlus, 1));
+}
+
+TEST(SymmetricQuery, MajorityEverywhere) {
+  const std::size_t n = 48;
+  const auto majority = [n](std::size_t v) { return 2 * v > n; };
+  for (std::size_t x = 0; x <= n; x += 3) {
+    RngStream rng(700 + x);
+    auto ch = ExactChannel::with_random_positives(n, x, rng);
+    const auto out = run_symmetric_query(ch, ch.all_nodes(), majority, rng);
+    EXPECT_EQ(out.value, 2 * x > n) << "x=" << x;
+    EXPECT_GE(x, out.x_lo);
+    EXPECT_LE(x, out.x_hi);
+  }
+}
+
+TEST(SymmetricQuery, ParityForcesExactDetermination) {
+  const std::size_t n = 33;
+  const auto parity = [](std::size_t v) { return v % 2 == 1; };
+  for (std::size_t x = 0; x <= n; x += 4) {
+    RngStream rng(800 + x);
+    auto ch = ExactChannel::with_random_positives(n, x, rng);
+    const auto out = run_symmetric_query(ch, ch.all_nodes(), parity, rng);
+    EXPECT_EQ(out.value, x % 2 == 1) << "x=" << x;
+    EXPECT_EQ(out.x_lo, out.x_hi);  // parity varies everywhere → pinned x
+    EXPECT_EQ(out.x_lo, x);
+    EXPECT_LE(out.sessions, 7u);  // ⌈log2 34⌉ = 6 (+1 slack)
+  }
+}
+
+TEST(SymmetricQuery, ThresholdDegeneratesToOneSession) {
+  const std::size_t n = 64, t = 16;
+  RngStream rng(3);
+  auto ch = ExactChannel::with_random_positives(n, 40, rng);
+  const auto out = run_symmetric_query(
+      ch, ch.all_nodes(), [t](std::size_t v) { return v >= t; }, rng);
+  EXPECT_TRUE(out.value);
+  EXPECT_EQ(out.sessions, 1u);
+}
+
+TEST(SymmetricQuery, ConstantFunctionIsFree) {
+  RngStream rng(4);
+  auto ch = ExactChannel::with_random_positives(32, 10, rng);
+  const auto out = run_symmetric_query(
+      ch, ch.all_nodes(), [](std::size_t) { return true; }, rng);
+  EXPECT_TRUE(out.value);
+  EXPECT_EQ(out.queries, 0u);
+  EXPECT_EQ(out.sessions, 0u);
+}
+
+TEST(SymmetricQuery, IntervalPredicate) {
+  const std::size_t n = 40;
+  const auto inside = [](std::size_t v) { return v >= 10 && v < 20; };
+  for (const std::size_t x : {0u, 9u, 10u, 15u, 19u, 20u, 40u}) {
+    RngStream rng(900 + x);
+    auto ch = ExactChannel::with_random_positives(n, x, rng);
+    const auto out = run_symmetric_query(ch, ch.all_nodes(), inside, rng);
+    EXPECT_EQ(out.value, inside(x)) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace tcast::core

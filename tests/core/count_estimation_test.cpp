@@ -1,0 +1,116 @@
+#include "core/count_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/monte_carlo.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+using group::ExactChannel;
+
+TEST(CountEstimation, ZeroIsExactInOneQuery) {
+  RngStream rng(1);
+  auto ch = ExactChannel::with_random_positives(128, 0, rng);
+  const auto est = estimate_positive_count(ch, ch.all_nodes(), rng);
+  EXPECT_TRUE(est.exact);
+  EXPECT_EQ(est.estimate, 0.0);
+  EXPECT_EQ(est.queries, 1u);
+}
+
+TEST(CountEstimation, QueryBudgetIsLogarithmicPlusRepeats) {
+  RngStream rng(2);
+  auto ch = ExactChannel::with_random_positives(1024, 5, rng);
+  CountEstimateOptions opts;
+  const auto est = estimate_positive_count(ch, ch.all_nodes(), rng, opts);
+  // 1 anchor + ≤ (log2(1024)+3)·probe + refine.
+  EXPECT_LE(est.queries, 1 + 13 * opts.probe_repeats + opts.refine_repeats);
+}
+
+/// Property sweep: the mean estimate tracks the true count within a
+/// multiplicative band across two decades of x.
+class CountEstimationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CountEstimationSweep, MeanEstimateWithinBand) {
+  const std::size_t x = GetParam();
+  constexpr std::size_t kN = 512;
+  MonteCarloConfig mc;
+  mc.trials = 200;
+  mc.experiment_id = 9000 + x;
+  const auto stats = run_trials(mc, [x](RngStream& rng) {
+    auto ch = ExactChannel::with_random_positives(kN, x, rng);
+    return estimate_positive_count(ch, ch.all_nodes(), rng).estimate;
+  });
+  EXPECT_GE(stats.mean(), static_cast<double>(x) * 0.6) << "x=" << x;
+  EXPECT_LE(stats.mean(), static_cast<double>(x) * 1.6) << "x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoDecades, CountEstimationSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(CountEstimation, FullSetEstimatesHigh) {
+  RngStream rng(3);
+  auto ch = ExactChannel::with_random_positives(64, 64, rng);
+  const auto est = estimate_positive_count(ch, ch.all_nodes(), rng);
+  EXPECT_GE(est.estimate, 20.0);
+  EXPECT_LE(est.estimate, 64.0);  // clamped to n
+}
+
+TEST(CountEstimation, MoreRepeatsTightenTheEstimate) {
+  constexpr std::size_t kN = 256, kX = 40;
+  const auto spread = [&](std::size_t repeats, std::uint64_t id) {
+    MonteCarloConfig mc;
+    mc.trials = 150;
+    mc.experiment_id = id;
+    return run_trials(mc, [repeats](RngStream& rng) {
+             auto ch = ExactChannel::with_random_positives(kN, kX, rng);
+             CountEstimateOptions opts;
+             opts.refine_repeats = repeats;
+             return estimate_positive_count(ch, ch.all_nodes(), rng, opts)
+                 .estimate;
+           })
+        .stddev();
+  };
+  EXPECT_GT(spread(8, 1), spread(64, 2));
+}
+
+TEST(IntervalQuery, VerdictMatchesGroundTruthOnGrid) {
+  constexpr std::size_t kN = 64, kLo = 8, kHi = 24;
+  for (std::size_t x = 0; x <= kN; x += 4) {
+    RngStream rng(500 + x);
+    auto ch = ExactChannel::with_random_positives(kN, x, rng);
+    const auto out = run_interval_query(ch, ch.all_nodes(), kLo, kHi, rng);
+    IntervalVerdict expected = IntervalVerdict::kInside;
+    if (x < kLo) expected = IntervalVerdict::kBelow;
+    if (x >= kHi) expected = IntervalVerdict::kAbove;
+    EXPECT_EQ(out.verdict, expected) << "x=" << x;
+    EXPECT_GT(out.queries, 0u);
+  }
+}
+
+TEST(IntervalQuery, BelowCostsOneSession) {
+  RngStream rng(4);
+  auto ch = ExactChannel::with_random_positives(64, 0, rng);
+  const auto out = run_interval_query(ch, ch.all_nodes(), 8, 24, rng);
+  EXPECT_EQ(out.verdict, IntervalVerdict::kBelow);
+  // One 2tBins elimination pass, no second session.
+  EXPECT_LE(out.queries, 20u);
+}
+
+TEST(IntervalQuery, ToStringNames) {
+  EXPECT_STREQ(to_string(IntervalVerdict::kBelow), "below");
+  EXPECT_STREQ(to_string(IntervalVerdict::kInside), "inside");
+  EXPECT_STREQ(to_string(IntervalVerdict::kAbove), "above");
+}
+
+TEST(IntervalQueryDeathTest, RejectsEmptyInterval) {
+  RngStream rng(5);
+  auto ch = ExactChannel::with_random_positives(16, 4, rng);
+  EXPECT_DEATH(run_interval_query(ch, ch.all_nodes(), 8, 8, rng), "t_lo");
+}
+
+}  // namespace
+}  // namespace tcast::core

@@ -1,0 +1,125 @@
+#include "group/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "rcd/addressing.hpp"
+
+namespace tcast::group {
+namespace {
+
+std::vector<NodeId> iota_nodes(std::size_t n) {
+  std::vector<NodeId> nodes(n);
+  for (std::size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+  return nodes;
+}
+
+/// Property suite over (n, b): both partition schemes produce a partition —
+/// every node in exactly one bin, sizes differ by at most one.
+class PartitionTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PartitionTest, RandomEqualIsBalancedPartition) {
+  const auto [n, b] = GetParam();
+  RngStream rng(n * 7919 + b);
+  const auto nodes = iota_nodes(n);
+  const auto a = BinAssignment::random_equal(nodes, b, rng);
+  ASSERT_EQ(a.bin_count(), b);
+  std::multiset<NodeId> seen;
+  std::size_t min_size = n + 1, max_size = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const auto bin = a.bin(i);
+    seen.insert(bin.begin(), bin.end());
+    min_size = std::min(min_size, bin.size());
+    max_size = std::max(max_size, bin.size());
+  }
+  EXPECT_EQ(seen.size(), n);
+  EXPECT_EQ(std::set<NodeId>(seen.begin(), seen.end()).size(), n);
+  if (n > 0) {
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+  EXPECT_EQ(a.total_assigned(), n);
+}
+
+TEST_P(PartitionTest, ContiguousIsBalancedPartition) {
+  const auto [n, b] = GetParam();
+  const auto nodes = iota_nodes(n);
+  const auto a = BinAssignment::contiguous(nodes, b);
+  ASSERT_EQ(a.bin_count(), b);
+  std::vector<NodeId> flattened;
+  for (std::size_t i = 0; i < b; ++i) {
+    const auto bin = a.bin(i);
+    flattened.insert(flattened.end(), bin.begin(), bin.end());
+    if (!bin.empty()) {
+      EXPECT_TRUE(std::is_sorted(bin.begin(), bin.end()));
+    }
+  }
+  EXPECT_EQ(flattened, nodes);  // contiguous preserves order exactly
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PartitionTest,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 5, 12, 100, 128),
+                       ::testing::Values<std::size_t>(1, 2, 7, 32)));
+
+TEST(Binning, RandomEqualVariesAcrossDraws) {
+  RngStream rng(5);
+  const auto nodes = iota_nodes(64);
+  const auto a = BinAssignment::random_equal(nodes, 8, rng);
+  const auto b = BinAssignment::random_equal(nodes, 8, rng);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 8 && !any_diff; ++i) {
+    const auto ba = a.bin(i), bb = b.bin(i);
+    any_diff = !std::equal(ba.begin(), ba.end(), bb.begin(), bb.end());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Binning, SampledInclusionRate) {
+  RngStream rng(6);
+  const auto nodes = iota_nodes(1000);
+  double total = 0;
+  const int draws = 200;
+  for (int i = 0; i < draws; ++i)
+    total += static_cast<double>(
+        BinAssignment::sampled(nodes, 0.25, rng).bin(0).size());
+  EXPECT_NEAR(total / draws / 1000.0, 0.25, 0.02);
+}
+
+TEST(Binning, SampledDegenerateProbabilities) {
+  RngStream rng(7);
+  const auto nodes = iota_nodes(10);
+  EXPECT_EQ(BinAssignment::sampled(nodes, 0.0, rng).bin(0).size(), 0u);
+  EXPECT_EQ(BinAssignment::sampled(nodes, 1.0, rng).bin(0).size(), 10u);
+}
+
+TEST(Binning, WireRoundTrip) {
+  RngStream rng(8);
+  const auto nodes = iota_nodes(10);
+  const auto a = BinAssignment::random_equal(nodes, 3, rng);
+  const auto wire = a.to_wire(12);  // universe larger than assigned set
+  ASSERT_EQ(wire.size(), 12u);
+  EXPECT_EQ(wire[10], rcd::kNotInRound);
+  EXPECT_EQ(wire[11], rcd::kNotInRound);
+  for (std::size_t bin = 0; bin < 3; ++bin)
+    for (const NodeId id : a.bin(bin))
+      EXPECT_EQ(wire[static_cast<std::size_t>(id)], bin);
+}
+
+TEST(Binning, WireMarksUnassignedNodes) {
+  RngStream rng(9);
+  const std::vector<NodeId> nodes = {2, 5, 7};
+  const auto a = BinAssignment::random_equal(nodes, 2, rng);
+  const auto wire = a.to_wire(8);
+  std::size_t assigned = 0;
+  for (const auto v : wire)
+    if (v != rcd::kNotInRound) ++assigned;
+  EXPECT_EQ(assigned, 3u);
+  EXPECT_EQ(wire[0], rcd::kNotInRound);
+}
+
+}  // namespace
+}  // namespace tcast::group

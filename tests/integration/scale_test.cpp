@@ -1,0 +1,80 @@
+// Scale and determinism: the library at RFID-fleet sizes, and the
+// bit-reproducibility contract.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "analysis/bounds.hpp"
+#include "common/stats.hpp"
+#include "core/aggregate.hpp"
+#include "core/registry.hpp"
+#include "core/two_t_bins.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+using group::ExactChannel;
+
+TEST(Scale, SixtyFourThousandNodesStayWithinBounds) {
+  constexpr std::size_t kN = 65536, kT = 128;
+  for (const std::size_t x : {0u, 100u, 5000u, 65536u}) {
+    RngStream rng(x + 1);
+    auto ch = ExactChannel::with_random_positives(kN, x, rng);
+    const auto out = run_two_t_bins(ch, ch.all_nodes(), kT, rng);
+    EXPECT_EQ(out.decision, x >= kT) << "x=" << x;
+    EXPECT_LE(static_cast<double>(out.queries),
+              analysis::two_t_bins_upper_bound(kN, kT) +
+                  2.0 * static_cast<double>(kT));
+  }
+}
+
+TEST(Scale, SessionsCompleteQuicklyAtScale) {
+  constexpr std::size_t kN = 65536;
+  const auto start = std::chrono::steady_clock::now();
+  RngStream rng(9);
+  auto ch = ExactChannel::with_random_positives(kN, 1000, rng);
+  const auto out = run_two_t_bins(ch, ch.all_nodes(), 256, rng);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(out.decision);
+  // A 64k-node session is a few milliseconds of work; 2 s is a generous
+  // regression tripwire.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(Scale, ExactCountAtScale) {
+  RngStream rng(10);
+  auto ch = ExactChannel::with_random_positives(16384, 37, rng);
+  const auto out = run_exact_count(ch, ch.all_nodes(), rng);
+  EXPECT_EQ(out.count, 37u);
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalSessions) {
+  for (const auto& spec : algorithm_registry()) {
+    ThresholdOutcome a, b;
+    for (ThresholdOutcome* out : {&a, &b}) {
+      RngStream rng(77, 5);
+      auto ch = ExactChannel::with_random_positives(128, 20, rng);
+      *out = spec.run(ch, ch.all_nodes(), 16, rng, EngineOptions{});
+    }
+    EXPECT_EQ(a.decision, b.decision) << spec.name;
+    EXPECT_EQ(a.queries, b.queries) << spec.name;
+    EXPECT_EQ(a.rounds, b.rounds) << spec.name;
+  }
+}
+
+TEST(Determinism, DifferentSeedsVaryQueryCounts) {
+  RunningStats queries;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    RngStream rng(seed);
+    auto ch = ExactChannel::with_random_positives(128, 14, rng);
+    queries.add(static_cast<double>(
+        run_two_t_bins(ch, ch.all_nodes(), 16, rng).queries));
+  }
+  EXPECT_GT(queries.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcast::core

@@ -1,0 +1,81 @@
+// End-to-end tests of the public ThresholdSession facade on both tiers.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "group/exact_channel.hpp"
+#include "group/packet_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+TEST(Session, TcastOnExactTier) {
+  RngStream rng(1);
+  auto ch = group::ExactChannel::with_random_positives(64, 20, rng);
+  ThresholdSession session(ch, ch.all_nodes(), rng);
+  EXPECT_TRUE(session.tcast(8).decision);
+  EXPECT_FALSE(session.tcast(32).decision);
+  EXPECT_GT(session.total_queries(), 0u);
+}
+
+TEST(Session, EveryRegisteredAlgorithmRunsThroughTheFacade) {
+  for (const auto& spec : algorithm_registry()) {
+    RngStream rng(7);
+    auto ch = group::ExactChannel::with_random_positives(32, 12, rng);
+    ThresholdSession session(ch, ch.all_nodes(), rng);
+    const auto out = session.tcast(8, spec.name);
+    EXPECT_TRUE(out.decision) << spec.name;
+  }
+}
+
+TEST(Session, TcastOnPacketTier) {
+  std::vector<bool> truth(12, false);
+  for (int i = 0; i < 5; ++i) truth[static_cast<std::size_t>(i)] = true;
+  group::PacketChannel::Config cfg;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  group::PacketChannel ch(truth, cfg);
+  RngStream rng(2);
+  EngineOptions opts;
+  opts.ordering = BinOrdering::kInOrder;
+  ThresholdSession session(ch, ch.all_nodes(), rng, opts);
+  EXPECT_TRUE(session.tcast(4).decision);
+  EXPECT_FALSE(session.tcast(6).decision);
+}
+
+TEST(Session, ProbabilisticQuery) {
+  RngStream rng(3);
+  auto ch = group::ExactChannel::with_random_positives(128, 100, rng);
+  ThresholdSession session(ch, ch.all_nodes(), rng);
+  const auto out = session.probabilistic(16.0, 90.0, 11);
+  EXPECT_TRUE(out.high_mode);
+  EXPECT_EQ(out.queries, 11u);
+}
+
+TEST(Session, QueriesAccumulateAcrossCalls) {
+  RngStream rng(4);
+  auto ch = group::ExactChannel::with_random_positives(32, 10, rng);
+  ThresholdSession session(ch, ch.all_nodes(), rng);
+  session.tcast(4);
+  const auto after_first = session.total_queries();
+  session.tcast(4);
+  EXPECT_GT(session.total_queries(), after_first);
+}
+
+TEST(SessionDeathTest, UnknownAlgorithmAborts) {
+  RngStream rng(5);
+  auto ch = group::ExactChannel::with_random_positives(8, 2, rng);
+  ThresholdSession session(ch, ch.all_nodes(), rng);
+  EXPECT_DEATH(session.tcast(2, "no-such-algo"), "unknown");
+}
+
+TEST(Session, ParticipantSubsetIsRespected) {
+  // Query only the even nodes: the threshold is judged on that subset.
+  RngStream rng(6);
+  group::ExactChannel ch(
+      {true, true, true, true, true, true, true, true}, rng);
+  ThresholdSession session(ch, {0, 2, 4, 6}, rng);
+  EXPECT_TRUE(session.tcast(4).decision);
+  EXPECT_FALSE(session.tcast(5).decision);  // only 4 participants
+}
+
+}  // namespace
+}  // namespace tcast::core

@@ -1,0 +1,128 @@
+#include "mac/csma_feedback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/monte_carlo.hpp"
+
+namespace tcast::mac {
+namespace {
+
+TEST(CsmaFeedback, ZeroPositivesCostsOnlyQuiescence) {
+  RngStream rng(1);
+  CsmaFeedbackConfig cfg;
+  const auto r = run_csma_feedback(64, 0, 8, rng, cfg);
+  EXPECT_FALSE(r.decision);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.slots, cfg.quiescence_slots);
+  EXPECT_EQ(r.successes, 0u);
+}
+
+TEST(CsmaFeedback, ThresholdReachedStopsAtTSuccesses) {
+  RngStream rng(2);
+  const auto r = run_csma_feedback(64, 40, 8, rng);
+  EXPECT_TRUE(r.decision);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.successes, 8u);
+}
+
+TEST(CsmaFeedback, SinglePositiveBelowThreshold) {
+  RngStream rng(3);
+  const auto r = run_csma_feedback(64, 1, 8, rng);
+  EXPECT_FALSE(r.decision);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.successes, 1u);
+}
+
+TEST(CsmaFeedback, CostGrowsWithPositives) {
+  // Average slots must grow (roughly linearly) in x — the paper's core
+  // argument against CSMA for large x.
+  const auto mean_slots = [](std::size_t x) {
+    MonteCarloConfig mc;
+    mc.trials = 400;
+    mc.experiment_id = x;
+    return run_trials(mc, [x](RngStream& rng) {
+             return static_cast<double>(
+                 run_csma_feedback(128, x, 16, rng).slots);
+           })
+        .mean();
+  };
+  const double at8 = mean_slots(8);
+  const double at32 = mean_slots(32);
+  const double at96 = mean_slots(96);
+  EXPECT_LT(at8, at32);
+  EXPECT_LT(at32, at96);
+  EXPECT_GT(at96, 96.0);  // at least one slot per reply... (16 needed but
+                          // cost counts only until t=16 successes)
+}
+
+TEST(CsmaFeedback, CostCappedByHardStop) {
+  RngStream rng(4);
+  CsmaFeedbackConfig cfg;
+  const auto r = run_csma_feedback(256, 256, 300, rng, cfg);
+  EXPECT_LE(r.slots, cfg.quiescence_slots + 4 * 257 * cfg.max_cw);
+}
+
+TEST(CsmaFeedback, CollisionsHappenUnderContention) {
+  MonteCarloConfig mc;
+  mc.trials = 100;
+  const auto collisions = run_trials(mc, [](RngStream& rng) {
+    return static_cast<double>(run_csma_feedback(64, 32, 64, rng).collisions);
+  });
+  EXPECT_GT(collisions.mean(), 1.0);
+}
+
+/// Property sweep: the decision is correct whenever the margin between x and
+/// t is comfortable (quiescence misfires need pathological backoff runs).
+class CsmaCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CsmaCorrectnessTest, ClearMarginsDecideCorrectly) {
+  const auto [x, t] = GetParam();
+  MonteCarloConfig mc;
+  mc.trials = 200;
+  mc.experiment_id = x * 1000 + t;
+  const auto correct = run_bool_trials(mc, [x = x, t = t](RngStream& rng) {
+    return run_csma_feedback(64, x, t, rng).correct;
+  });
+  EXPECT_GE(correct.value(), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Margins, CsmaCorrectnessTest,
+    ::testing::Values(std::tuple{0, 8}, std::tuple{2, 8}, std::tuple{32, 8},
+                      std::tuple{64, 8}, std::tuple{0, 1}, std::tuple{64, 1},
+                      std::tuple{10, 32}));
+
+TEST(CsmaFeedback, QuiescenceCanMisfireNearTheThreshold) {
+  // The paper's point that "it is impossible to tell whether x > t or x < t
+  // with certainty using CSMA": around x ≈ 2t the small initial contention
+  // window produces backoff runs long enough to masquerade as silence, so a
+  // measurable fraction of sessions decide wrongly.
+  MonteCarloConfig mc;
+  mc.trials = 500;
+  const auto correct = run_bool_trials(mc, [](RngStream& rng) {
+    return run_csma_feedback(64, 16, 8, rng).correct;
+  });
+  EXPECT_GT(correct.value(), 0.80);  // mostly right...
+  EXPECT_LT(correct.value(), 1.00);  // ...but not certain
+}
+
+TEST(CsmaFeedback, WiderInitialWindowReducesCollisions) {
+  MonteCarloConfig mc;
+  mc.trials = 200;
+  const auto mean_collisions = [&mc](std::size_t min_cw) {
+    return run_trials(mc, [min_cw](RngStream& rng) {
+             CsmaFeedbackConfig cfg;
+             cfg.min_cw = min_cw;
+             return static_cast<double>(
+                 run_csma_feedback(64, 32, 64, rng, cfg).collisions);
+           })
+        .mean();
+  };
+  EXPECT_GT(mean_collisions(2), mean_collisions(32));
+}
+
+}  // namespace
+}  // namespace tcast::mac

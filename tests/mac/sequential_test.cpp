@@ -1,0 +1,79 @@
+#include "mac/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/monte_carlo.hpp"
+
+namespace tcast::mac {
+namespace {
+
+/// Exhaustive grid property: sequential ordering is always correct and never
+/// uses more than n slots.
+class SequentialGridTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SequentialGridTest, AlwaysCorrectWithinNSlots) {
+  const auto [n, t] = GetParam();
+  RngStream rng(n * 131 + t);
+  for (std::size_t x = 0; x <= n; ++x) {
+    const auto r = run_sequential_feedback(n, x, t, rng);
+    EXPECT_EQ(r.decision, x >= t) << "n=" << n << " x=" << x << " t=" << t;
+    EXPECT_LE(r.slots, n);
+    EXPECT_LE(r.positives_seen, x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SequentialGridTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 4, 12, 32, 128),
+                       ::testing::Values<std::size_t>(1, 2, 8, 16)));
+
+TEST(Sequential, ZeroThresholdTrivial) {
+  RngStream rng(1);
+  const auto r = run_sequential_feedback(16, 3, 0, rng);
+  EXPECT_TRUE(r.decision);
+  EXPECT_EQ(r.slots, 0u);
+}
+
+TEST(Sequential, ZeroPositivesCostsAboutNMinusT) {
+  RngStream rng(2);
+  const auto r = run_sequential_feedback(100, 0, 10, rng);
+  EXPECT_FALSE(r.decision);
+  EXPECT_EQ(r.slots, 91u);  // stops when 0 + remaining < 10
+}
+
+TEST(Sequential, AllPositivesCostExactlyT) {
+  RngStream rng(3);
+  const auto r = run_sequential_feedback(50, 50, 7, rng);
+  EXPECT_TRUE(r.decision);
+  EXPECT_EQ(r.slots, 7u);
+}
+
+TEST(Sequential, SmallXLargeCostShape) {
+  // The paper: "sequential ordering starts with a large cost overhead
+  // (approximately n − x) for x ≪ t".
+  MonteCarloConfig mc;
+  mc.trials = 500;
+  const auto mean_cost = [&mc](std::size_t x) {
+    mc.experiment_id = x;
+    return run_trials(mc, [x](RngStream& rng) {
+             return static_cast<double>(
+                 run_sequential_feedback(128, x, 16, rng).slots);
+           })
+        .mean();
+  };
+  EXPECT_GT(mean_cost(2), 100.0);  // ≈ n − t + small
+  EXPECT_LT(mean_cost(120), 30.0);  // x ≫ t: cheap
+}
+
+TEST(Sequential, ThresholdAboveNImpossibleImmediately) {
+  RngStream rng(4);
+  const auto r = run_sequential_feedback(8, 8, 20, rng);
+  EXPECT_FALSE(r.decision);
+  EXPECT_EQ(r.slots, 1u);  // first slot reveals remaining < t
+}
+
+}  // namespace
+}  // namespace tcast::mac

@@ -1,0 +1,99 @@
+#include "radio/capture.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcast::radio {
+namespace {
+
+TEST(GeometricCapture, LoneFrameAlwaysCaptures) {
+  GeometricCaptureModel m(1.0, 0.5);
+  RngStream rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto idx = m.captured_index(1, rng);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 0u);
+  }
+}
+
+TEST(GeometricCapture, ClosedFormProbability) {
+  GeometricCaptureModel m(0.8, 0.5);
+  EXPECT_DOUBLE_EQ(m.capture_probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.capture_probability(2), 0.4);
+  EXPECT_DOUBLE_EQ(m.capture_probability(3), 0.2);
+}
+
+TEST(GeometricCapture, EmpiricalRateMatchesClosedForm) {
+  GeometricCaptureModel m(1.0, 0.5);
+  RngStream rng(2);
+  int captured = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (m.captured_index(3, rng)) ++captured;
+  EXPECT_NEAR(static_cast<double>(captured) / trials,
+              m.capture_probability(3), 0.02);
+}
+
+TEST(GeometricCapture, CapturedIndexIsUniform) {
+  GeometricCaptureModel m(1.0, 1.0);  // always captures
+  RngStream rng(3);
+  int counts[4] = {0, 0, 0, 0};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const auto idx = m.captured_index(4, rng);
+    ASSERT_TRUE(idx.has_value());
+    ++counts[*idx];
+  }
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.25, 0.02);
+}
+
+TEST(GeometricCapture, ProbabilityDecreasesWithContenders) {
+  GeometricCaptureModel m(1.0, 0.6);
+  for (std::size_t k = 1; k < 10; ++k)
+    EXPECT_GT(m.capture_probability(k), m.capture_probability(k + 1));
+}
+
+TEST(SinrCapture, LoneFrameAlwaysCaptures) {
+  SinrCaptureModel m;
+  RngStream rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(m.captured_index(1, rng));
+}
+
+TEST(SinrCapture, CaptureRateDecreasesWithContenders) {
+  SinrCaptureModel m(3.0, 6.0);
+  RngStream rng(5);
+  const auto rate = [&](std::size_t k) {
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+      if (m.captured_index(k, rng)) ++hits;
+    return static_cast<double>(hits) / 20000.0;
+  };
+  const double r2 = rate(2), r4 = rate(4), r8 = rate(8);
+  EXPECT_GT(r2, r4);
+  EXPECT_GT(r4, r8);
+  EXPECT_GT(r2, 0.0);
+}
+
+TEST(SinrCapture, ZeroFadingNeverCapturesCollisions) {
+  // Equal powers with no fading can never clear a 3 dB margin.
+  SinrCaptureModel m(3.0, 0.0);
+  RngStream rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(m.captured_index(2, rng));
+}
+
+TEST(NoCapture, OnlyLoneFrames) {
+  NoCaptureModel m;
+  RngStream rng(7);
+  EXPECT_TRUE(m.captured_index(1, rng));
+  for (std::size_t k = 2; k < 6; ++k)
+    EXPECT_FALSE(m.captured_index(k, rng));
+}
+
+TEST(DefaultCaptureModel, IsUsable) {
+  auto m = default_capture_model();
+  RngStream rng(8);
+  EXPECT_TRUE(m->captured_index(1, rng).has_value());
+}
+
+}  // namespace
+}  // namespace tcast::radio

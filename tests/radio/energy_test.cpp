@@ -1,0 +1,60 @@
+#include "radio/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcast::radio {
+namespace {
+
+TEST(EnergyMeter, AccumulatesTimePerState) {
+  EnergyMeter meter;
+  meter.transition(RadioState::kRx, 0);
+  meter.transition(RadioState::kTx, 100);
+  meter.transition(RadioState::kRx, 150);
+  meter.transition(RadioState::kOff, 400);
+  meter.settle(1000);
+  EXPECT_EQ(meter.time_in(RadioState::kRx), 100 + 250);
+  EXPECT_EQ(meter.time_in(RadioState::kTx), 50);
+  EXPECT_EQ(meter.time_in(RadioState::kOff), 600);
+}
+
+TEST(EnergyMeter, ChargeUsesConfiguredCurrents) {
+  EnergyConfig cfg;
+  cfg.rx_ma = 10.0;
+  cfg.tx_ma = 20.0;
+  cfg.off_ma = 0.0;
+  cfg.voltage = 3.0;
+  EnergyMeter meter(cfg);
+  meter.transition(RadioState::kRx, 0);
+  meter.transition(RadioState::kTx, kSecond);  // 1 s RX
+  meter.settle(2 * kSecond);                   // 1 s TX
+  EXPECT_DOUBLE_EQ(meter.charge_mc(), 10.0 + 20.0);
+  EXPECT_DOUBLE_EQ(meter.energy_mj(), 3.0 * 30.0);
+}
+
+TEST(EnergyMeter, SettleIsIdempotent) {
+  EnergyMeter meter;
+  meter.transition(RadioState::kRx, 0);
+  meter.settle(500);
+  meter.settle(500);
+  EXPECT_EQ(meter.time_in(RadioState::kRx), 500);
+}
+
+TEST(EnergyMeter, ListeningDominatesIdleBudget) {
+  // The motivation for fewer queries: an always-listening radio burns
+  // orders of magnitude more than a sleeping one.
+  EnergyMeter listening, sleeping;
+  listening.transition(RadioState::kRx, 0);
+  sleeping.transition(RadioState::kOff, 0);
+  listening.settle(10 * kSecond);
+  sleeping.settle(10 * kSecond);
+  EXPECT_GT(listening.energy_mj(), 1000.0 * sleeping.energy_mj());
+}
+
+TEST(EnergyMeterDeathTest, TimeCannotGoBackwards) {
+  EnergyMeter meter;
+  meter.transition(RadioState::kRx, 100);
+  EXPECT_DEATH(meter.transition(RadioState::kTx, 50), "backwards");
+}
+
+}  // namespace
+}  // namespace tcast::radio

@@ -1,0 +1,77 @@
+#include "radio/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcast::radio {
+namespace {
+
+TEST(Frame, HackAirBytesAreFixed) {
+  Frame hack;
+  hack.type = FrameType::kHack;
+  // 4 preamble + 1 SFD + 1 LEN + 5 MPDU = 11 bytes, the 802.15.4 ACK PPDU.
+  EXPECT_EQ(hack.air_bytes(), 11u);
+}
+
+TEST(Frame, DataPayloadGrowsAirtime) {
+  Frame a, b;
+  a.type = b.type = FrameType::kData;
+  b.data.resize(40);
+  EXPECT_EQ(b.air_bytes(), a.air_bytes() + 40);
+}
+
+TEST(Frame, PredicatePacksTwoNodesPerByte) {
+  Frame f;
+  f.type = FrameType::kPredicate;
+  f.assignment.resize(12);
+  const auto with12 = f.air_bytes();
+  f.assignment.resize(13);
+  EXPECT_EQ(f.air_bytes(), with12 + 1);  // 13 nodes need one more half-byte
+  f.assignment.resize(14);
+  EXPECT_EQ(f.air_bytes(), with12 + 1);  // 14 fits in the same extra byte
+}
+
+TEST(Frame, PollIsSmall) {
+  Frame f;
+  f.type = FrameType::kPoll;
+  EXPECT_LE(f.air_bytes(), 32u);
+}
+
+TEST(Frame, HacksIdenticalRequiresSameSeq) {
+  Frame a, b;
+  a.type = b.type = FrameType::kHack;
+  a.seq = b.seq = 9;
+  EXPECT_TRUE(hacks_identical(a, b));
+  b.seq = 10;
+  EXPECT_FALSE(hacks_identical(a, b));
+}
+
+TEST(Frame, NonHacksNeverIdentical) {
+  Frame a, b;
+  a.type = FrameType::kReply;
+  b.type = FrameType::kReply;
+  a.seq = b.seq = 3;
+  EXPECT_FALSE(hacks_identical(a, b));
+}
+
+TEST(Frame, MakeHackMirrorsSeqAndTargetsSender) {
+  Frame f;
+  f.type = FrameType::kPoll;
+  f.seq = 77;
+  f.src = 0x1234;
+  const Frame hack = make_hack(f);
+  EXPECT_EQ(hack.type, FrameType::kHack);
+  EXPECT_EQ(hack.seq, 77);
+  EXPECT_EQ(hack.dest, 0x1234);
+}
+
+TEST(Frame, ToStringMentionsTypeAndFlags) {
+  Frame f;
+  f.type = FrameType::kPoll;
+  f.ack_request = true;
+  const auto s = f.to_string();
+  EXPECT_NE(s.find("POLL"), std::string::npos);
+  EXPECT_NE(s.find("AR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcast::radio

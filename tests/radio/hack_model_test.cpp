@@ -1,0 +1,50 @@
+#include "radio/hack_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tcast::radio {
+namespace {
+
+TEST(HackModel, IdealNeverMisses) {
+  const auto m = HackReceptionModel::ideal();
+  RngStream rng(1);
+  for (std::size_t k = 1; k <= 12; ++k) {
+    EXPECT_EQ(m.miss_probability(k), 0.0);
+    EXPECT_TRUE(m.decodes(k, rng));
+  }
+}
+
+TEST(HackModel, MissProbabilityDecaysGeometrically) {
+  HackReceptionModel m(0.04, 0.25);
+  EXPECT_DOUBLE_EQ(m.miss_probability(1), 0.04);
+  EXPECT_DOUBLE_EQ(m.miss_probability(2), 0.01);
+  EXPECT_DOUBLE_EQ(m.miss_probability(3), 0.0025);
+}
+
+TEST(HackModel, SingleHackDominatesErrorBudget) {
+  // The paper's observation: "majority of the false-negatives occur when the
+  // queried group has only one positive node".
+  HackReceptionModel m;  // calibrated defaults
+  double tail = 0.0;
+  for (std::size_t k = 2; k <= 12; ++k) tail += m.miss_probability(k);
+  EXPECT_GT(m.miss_probability(1), tail);
+}
+
+TEST(HackModel, EmpiricalMissRate) {
+  HackReceptionModel m(0.1, 0.5);
+  RngStream rng(2);
+  int missed = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i)
+    if (!m.decodes(2, rng)) ++missed;
+  EXPECT_NEAR(static_cast<double>(missed) / trials, 0.05, 0.01);
+}
+
+TEST(HackModel, DefaultsAreThePaperCalibration) {
+  HackReceptionModel m;
+  EXPECT_NEAR(m.fn1(), 0.035, 1e-12);
+  EXPECT_NEAR(m.beta(), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcast::radio

@@ -1,0 +1,178 @@
+// Two concurrent backcast sessions on the CC2420's two hardware address
+// slots (paper Sec. IV-D.1: "CC2420 radio supports two hardware addresses
+// ... enabling two concurrent backcasts at most").
+//
+// Two initiators serve two different predicates; every participant runs one
+// responder per slot. After one announce each, the initiators interleave
+// polls freely — neither session needs re-arming when the other polls.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "rcd/backcast.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast::rcd {
+namespace {
+
+constexpr std::uint8_t kPredA = 1;  // e.g. "temperature above limit"
+constexpr std::uint8_t kPredB = 2;  // e.g. "battery low"
+
+struct DualWorld {
+  explicit DualWorld(std::size_t participants, std::uint64_t seed = 1)
+      : sim(seed), channel(sim, {}) {
+    // Initiator A on the short slot, initiator B on the extended slot.
+    radio_a = std::make_unique<radio::Radio>(channel, kNoNode,
+                                             kInitiatorAddr);
+    radio_a->power_on();
+    init_a = std::make_unique<BackcastInitiator>(
+        *radio_a, BackcastInitiator::Config{.slot = AddressSlot::kShort});
+    radio_a->set_receive_handler(
+        [this](const radio::Frame& f, const radio::RxInfo& info) {
+          init_a->on_frame(f, info);
+        });
+
+    radio_b = std::make_unique<radio::Radio>(channel, kNoNode,
+                                             kSecondInitiatorAddr);
+    radio_b->power_on();
+    init_b = std::make_unique<BackcastInitiator>(
+        *radio_b, BackcastInitiator::Config{.slot = AddressSlot::kExtended});
+    radio_b->set_receive_handler(
+        [this](const radio::Frame& f, const radio::RxInfo& info) {
+          init_b->on_frame(f, info);
+        });
+
+    pos_a.assign(participants, false);
+    pos_b.assign(participants, false);
+    for (std::size_t i = 0; i < participants; ++i) {
+      auto radio = std::make_unique<radio::Radio>(
+          channel, static_cast<NodeId>(i),
+          participant_addr(static_cast<NodeId>(i)));
+      radio->power_on();
+      auto eval = [this, i](std::uint8_t pred) {
+        return pred == kPredA ? pos_a[i] : pos_b[i];
+      };
+      auto responder_a = std::make_unique<BackcastResponder>(
+          *radio, eval,
+          BackcastResponder::Config{.slot = AddressSlot::kShort,
+                                    .served_predicate = kPredA});
+      auto responder_b = std::make_unique<BackcastResponder>(
+          *radio, eval,
+          BackcastResponder::Config{.slot = AddressSlot::kExtended,
+                                    .served_predicate = kPredB});
+      auto* ra = responder_a.get();
+      auto* rb = responder_b.get();
+      radio->set_receive_handler(
+          [ra, rb](const radio::Frame& f, const radio::RxInfo&) {
+            if (!ra->on_frame(f)) rb->on_frame(f);
+          });
+      radios.push_back(std::move(radio));
+      responders_a.push_back(std::move(responder_a));
+      responders_b.push_back(std::move(responder_b));
+    }
+  }
+
+  void announce(BackcastInitiator& init, std::uint8_t pred,
+                const std::vector<std::uint16_t>& wire) {
+    bool done = false;
+    init.announce(pred, pred, wire, [&done] { done = true; });
+    sim.run();
+    ASSERT_TRUE(done);
+  }
+
+  bool poll(BackcastInitiator& init, std::uint16_t bin) {
+    bool nonempty = false, done = false;
+    init.poll_bin(bin, [&](BackcastInitiator::PollResult r) {
+      nonempty = r.nonempty;
+      done = true;
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    return nonempty;
+  }
+
+  sim::Simulator sim;
+  radio::Channel channel;
+  std::unique_ptr<radio::Radio> radio_a, radio_b;
+  std::unique_ptr<BackcastInitiator> init_a, init_b;
+  std::vector<bool> pos_a, pos_b;
+  std::vector<std::unique_ptr<radio::Radio>> radios;
+  std::vector<std::unique_ptr<BackcastResponder>> responders_a, responders_b;
+};
+
+TEST(DualBackcast, BothSessionsArmIndependentSlots) {
+  DualWorld w(4);
+  w.pos_a = {true, false, true, false};
+  w.pos_b = {false, true, true, false};
+  w.announce(*w.init_a, kPredA, {0, 0, 1, 1});
+  w.announce(*w.init_b, kPredB, {1, 1, 0, 0});
+  // Node 2 is positive for both: armed on both slots simultaneously.
+  EXPECT_EQ(w.radios[2]->alt_address(), radio::kEphemeralBase + 1);
+  EXPECT_EQ(w.radios[2]->ext_alt_address(), kEphemeralBaseExt + 0);
+  // Node 0 only serves A; node 1 only serves B.
+  EXPECT_TRUE(w.radios[0]->alt_address().has_value());
+  EXPECT_FALSE(w.radios[0]->ext_alt_address().has_value());
+  EXPECT_FALSE(w.radios[1]->alt_address().has_value());
+  EXPECT_TRUE(w.radios[1]->ext_alt_address().has_value());
+}
+
+TEST(DualBackcast, InterleavedPollsStayIsolated) {
+  DualWorld w(6);
+  w.pos_a = {true, true, false, false, false, false};
+  w.pos_b = {false, false, false, false, true, true};
+  w.announce(*w.init_a, kPredA, {0, 1, 0, 1, 0, 1});
+  w.announce(*w.init_b, kPredB, {0, 1, 0, 1, 0, 1});
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(w.poll(*w.init_a, 0));    // node 0 positive for A
+    EXPECT_TRUE(w.poll(*w.init_b, 0));    // node 4 positive for B
+    EXPECT_TRUE(w.poll(*w.init_a, 1));    // node 1
+    EXPECT_TRUE(w.poll(*w.init_b, 1));    // node 5
+  }
+}
+
+TEST(DualBackcast, SessionsDoNotCrossTalk) {
+  DualWorld w(4);
+  w.pos_a = {true, true, true, true};
+  w.pos_b = {false, false, false, false};
+  w.announce(*w.init_a, kPredA, {0, 0, 0, 0});
+  w.announce(*w.init_b, kPredB, {0, 0, 0, 0});
+  EXPECT_TRUE(w.poll(*w.init_a, 0));
+  // B's predicate holds nowhere: its poll must be silent even though every
+  // node is armed (on the *other* slot) for A.
+  EXPECT_FALSE(w.poll(*w.init_b, 0));
+}
+
+TEST(DualBackcast, ReannouncingOneSessionLeavesTheOtherArmed) {
+  DualWorld w(3);
+  w.pos_a = {true, false, false};
+  w.pos_b = {true, true, true};
+  w.announce(*w.init_a, kPredA, {0, 0, 0});
+  w.announce(*w.init_b, kPredB, {0, 0, 0});
+  EXPECT_TRUE(w.poll(*w.init_a, 0));
+  EXPECT_TRUE(w.poll(*w.init_b, 0));
+  // A rebins; B's arming must survive untouched.
+  w.announce(*w.init_a, kPredA, {1, 1, 1});
+  EXPECT_TRUE(w.poll(*w.init_a, 1));
+  EXPECT_TRUE(w.poll(*w.init_b, 0));
+  EXPECT_EQ(w.radios[1]->ext_alt_address(), kEphemeralBaseExt + 0);
+}
+
+TEST(DualBackcast, HacksReachTheRightInitiator) {
+  // A HACK answers the frame's sender: B's polls must never satisfy A.
+  DualWorld w(2);
+  w.pos_a = {false, false};
+  w.pos_b = {true, true};
+  w.announce(*w.init_a, kPredA, {0, 0});
+  w.announce(*w.init_b, kPredB, {0, 0});
+  bool a_saw = false;
+  w.init_a->poll_bin(0, [&](BackcastInitiator::PollResult r) {
+    a_saw = r.nonempty;
+  });
+  w.sim.run();
+  EXPECT_FALSE(a_saw);
+  EXPECT_TRUE(w.poll(*w.init_b, 0));
+}
+
+}  // namespace
+}  // namespace tcast::rcd

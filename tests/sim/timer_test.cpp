@@ -1,0 +1,90 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcast::sim {
+namespace {
+
+TEST(Timer, OneShotFiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start_one_shot(100);
+  EXPECT_TRUE(t.is_running());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.is_running());
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Timer, StopPreventsFiring) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.start_one_shot(100);
+  t.stop();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RestartReplacesDeadline) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  Timer t(sim, [&] { times.push_back(sim.now()); });
+  t.start_one_shot(100);
+  t.start_one_shot(50);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{50}));
+}
+
+TEST(Timer, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  Timer t(sim, [&times, &sim, &t] {
+    times.push_back(sim.now());
+    if (times.size() == 4) t.stop();
+  });
+  t.start_periodic(10);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Timer, CallbackCanRearmOneShot) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  Timer t(sim, [&times, &sim, &t] {
+    times.push_back(sim.now());
+    if (times.size() < 3) t.start_one_shot(5);
+  });
+  t.start_one_shot(5);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10, 15}));
+}
+
+TEST(Timer, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.start_one_shot(10);
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, PeriodicSwitchToOneShotInCallback) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  Timer t(sim, [&times, &sim, &t] {
+    times.push_back(sim.now());
+    if (times.size() == 1) t.start_one_shot(3);  // abandon the period
+  });
+  t.start_periodic(10);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 13}));
+}
+
+}  // namespace
+}  // namespace tcast::sim

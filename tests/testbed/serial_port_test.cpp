@@ -1,0 +1,60 @@
+#include "testbed/serial_port.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tcast::testbed {
+namespace {
+
+TEST(SerialPort, CommandArrivesAfterOneLatency) {
+  sim::Simulator sim;
+  SerialPort port(sim, 3 * kMillisecond);
+  std::vector<SimTime> deliveries;
+  port.bind_mote([&](const Command& cmd) {
+    EXPECT_TRUE(std::holds_alternative<RebootCmd>(cmd));
+    deliveries.push_back(sim.now());
+  });
+  port.send_command(RebootCmd{});
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 3 * kMillisecond);
+}
+
+TEST(SerialPort, ResponseArrivesAfterOneLatency) {
+  sim::Simulator sim;
+  SerialPort port(sim, kMillisecond);
+  std::vector<Response> responses;
+  port.bind_laptop([&](const Response& r) { responses.push_back(r); });
+  port.send_response(Response{.ok = true, .decision = true, .queries = 7});
+  sim.run();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].decision);
+  EXPECT_EQ(responses[0].queries, 7u);
+  EXPECT_EQ(sim.now(), kMillisecond);
+}
+
+TEST(SerialPort, CommandsPreserveOrder) {
+  sim::Simulator sim;
+  SerialPort port(sim, kMillisecond);
+  std::vector<bool> positives;
+  port.bind_mote([&](const Command& cmd) {
+    if (const auto* cfg = std::get_if<ConfigureCmd>(&cmd))
+      positives.push_back(cfg->predicate_positive);
+  });
+  port.send_command(ConfigureCmd{.predicate_positive = true});
+  port.send_command(ConfigureCmd{.predicate_positive = false});
+  port.send_command(ConfigureCmd{.predicate_positive = true});
+  sim.run();
+  EXPECT_EQ(positives, (std::vector<bool>{true, false, true}));
+}
+
+TEST(SerialPortDeathTest, UnboundEndpointsAbort) {
+  sim::Simulator sim;
+  SerialPort port(sim, kMillisecond);
+  EXPECT_DEATH(port.send_command(RebootCmd{}), "no mote");
+  EXPECT_DEATH(port.send_response(Response{}), "no laptop");
+}
+
+}  // namespace
+}  // namespace tcast::testbed

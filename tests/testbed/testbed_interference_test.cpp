@@ -1,0 +1,79 @@
+// The bench under cross-traffic: the paper's Kansei future-work scenario
+// run on the emulated testbed.
+#include <gtest/gtest.h>
+
+#include "testbed/controller.hpp"
+
+namespace tcast::testbed {
+namespace {
+
+Testbed::Config noisy_bench(double duty, std::uint64_t seed) {
+  Testbed::Config cfg;
+  cfg.participants = 8;
+  cfg.seed = seed;
+  cfg.radio_irregularity = false;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  cfg.interference_duty = duty;
+  return cfg;
+}
+
+TEST(TestbedInterference, SerialPlaneSurvivesCrossTraffic) {
+  Testbed bench(noisy_bench(0.3, 1));
+  // configure + reboot + configure: all must settle despite the perpetual
+  // interferer keeping the simulator queue non-empty.
+  bench.configure_predicates(
+      {true, false, true, false, true, false, true, false});
+  EXPECT_EQ(bench.positive_count(bench.all_nodes()), 4u);
+  bench.reboot_all();
+  EXPECT_EQ(bench.positive_count(bench.all_nodes()), 0u);
+  bench.configure_predicates(
+      {true, true, false, false, false, false, false, false});
+  EXPECT_EQ(bench.positive_count(bench.all_nodes()), 2u);
+}
+
+TEST(TestbedInterference, QueriesTerminateAndNeverFalsePositive) {
+  Testbed bench(noisy_bench(0.25, 2));
+  std::vector<bool> empty(8, false);
+  bench.configure_predicates(empty);
+  for (int run = 0; run < 15; ++run) {
+    bench.channel().clear_bin_events();
+    const auto result = bench.run_query(2);
+    // Backcast-based tcast cannot conjure positives out of foreign noise.
+    EXPECT_FALSE(result.outcome.decision);
+    EXPECT_TRUE(result.correct);
+    for (const auto& e : bench.channel().bin_events())
+      EXPECT_FALSE(e.observed_nonempty);
+  }
+}
+
+TEST(TestbedInterference, FalseNegativesAppearUnderHeavyTraffic) {
+  Testbed bench(noisy_bench(0.4, 3));
+  std::vector<bool> all(8, true);
+  std::size_t missed = 0, queried = 0;
+  for (int run = 0; run < 25; ++run) {
+    bench.reboot_all();
+    bench.configure_predicates(all);
+    bench.channel().clear_bin_events();
+    (void)bench.run_query(4);
+    for (const auto& e : bench.channel().bin_events()) {
+      if (e.true_positives > 0) {
+        ++queried;
+        if (!e.observed_nonempty) ++missed;
+      }
+    }
+  }
+  EXPECT_GT(queried, 0u);
+  EXPECT_GT(missed, 0u);  // HACKs do get clobbered at 40% duty
+}
+
+TEST(TestbedInterference, CleanBenchUnaffectedByZeroDuty) {
+  Testbed bench(noisy_bench(0.0, 4));
+  bench.configure_predicates(
+      {true, true, true, true, false, false, false, false});
+  const auto result = bench.run_query(4);
+  EXPECT_TRUE(result.outcome.decision);
+  EXPECT_TRUE(result.correct);
+}
+
+}  // namespace
+}  // namespace tcast::testbed

@@ -1,0 +1,138 @@
+// Emulated mote bench: configuration plumbing, reboot semantics, error
+// census, and the Fig-4 experiment driver.
+#include <gtest/gtest.h>
+
+#include "testbed/controller.hpp"
+#include "testbed/experiment.hpp"
+
+namespace tcast::testbed {
+namespace {
+
+Testbed::Config ideal_bench(std::size_t n, std::uint64_t seed = 1) {
+  Testbed::Config cfg;
+  cfg.participants = n;
+  cfg.seed = seed;
+  cfg.radio_irregularity = false;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  return cfg;
+}
+
+TEST(Testbed, ConfigureSetsPredicates) {
+  Testbed bench(ideal_bench(4));
+  bench.configure_predicates({true, false, true, false});
+  EXPECT_TRUE(bench.is_positive(0));
+  EXPECT_FALSE(bench.is_positive(1));
+  EXPECT_TRUE(bench.is_positive(2));
+  EXPECT_EQ(bench.positive_count(bench.all_nodes()), 2u);
+}
+
+TEST(Testbed, RebootClearsPredicates) {
+  Testbed bench(ideal_bench(4));
+  bench.configure_predicates({true, true, true, true});
+  bench.reboot_all();
+  EXPECT_EQ(bench.positive_count(bench.all_nodes()), 0u);
+}
+
+TEST(Testbed, IdealBenchAnswersCorrectlyAcrossGrid) {
+  Testbed bench(ideal_bench(12));
+  RngStream workload(7);
+  for (std::size_t t : {2u, 4u, 6u}) {
+    for (std::size_t x = 0; x <= 12; x += 2) {
+      bench.reboot_all();
+      std::vector<bool> positive(12, false);
+      for (const NodeId id : workload.sample_subset(12, x))
+        positive[static_cast<std::size_t>(id)] = true;
+      bench.configure_predicates(positive);
+      const auto r = bench.run_query(t);
+      EXPECT_TRUE(r.correct) << "t=" << t << " x=" << x;
+      EXPECT_EQ(r.outcome.decision, x >= t);
+    }
+  }
+}
+
+TEST(Testbed, BinEventsRecordGroundTruth) {
+  Testbed bench(ideal_bench(6));
+  bench.configure_predicates({true, true, false, false, false, false});
+  bench.channel().clear_bin_events();
+  bench.run_query(2);
+  ASSERT_FALSE(bench.channel().bin_events().empty());
+  for (const auto& event : bench.channel().bin_events())
+    EXPECT_EQ(event.observed_nonempty, event.true_positives > 0);
+}
+
+TEST(Testbed, IrregularBenchOnlyFalseNegatives) {
+  Testbed::Config cfg;
+  cfg.participants = 12;
+  cfg.seed = 3;
+  cfg.radio_irregularity = true;
+  Testbed bench(cfg);
+  RngStream workload(11);
+  std::size_t phantom = 0, missed = 0, queried = 0;
+  for (int run = 0; run < 40; ++run) {
+    bench.reboot_all();
+    std::vector<bool> positive(12, false);
+    for (const NodeId id : workload.sample_subset(12, 6))
+      positive[static_cast<std::size_t>(id)] = true;
+    bench.configure_predicates(positive);
+    bench.channel().clear_bin_events();
+    bench.run_query(4);
+    for (const auto& e : bench.channel().bin_events()) {
+      ++queried;
+      if (e.true_positives == 0 && e.observed_nonempty) ++phantom;
+      if (e.true_positives > 0 && !e.observed_nonempty) ++missed;
+    }
+  }
+  EXPECT_GT(queried, 0u);
+  EXPECT_EQ(phantom, 0u);  // backcast cannot false-positive
+}
+
+TEST(MoteExperiment, SmallRunProducesFullGrid) {
+  MoteExperimentConfig cfg;
+  cfg.participants = 6;
+  cfg.thresholds = {2, 3};
+  cfg.runs_per_point = 5;
+  const auto results = run_mote_experiment(cfg);
+  EXPECT_EQ(results.points.size(), 2u * 7u);  // 2 thresholds × x ∈ [0,6]
+  EXPECT_EQ(results.total_runs, 2u * 7u * 5u);
+  EXPECT_GT(results.total_queries, 0u);
+  for (const auto& p : results.points) EXPECT_EQ(p.runs, 5u);
+}
+
+TEST(MoteExperiment, IdealRadioNeverErrs) {
+  MoteExperimentConfig cfg;
+  cfg.participants = 6;
+  cfg.thresholds = {2};
+  cfg.runs_per_point = 10;
+  cfg.radio_irregularity = false;
+  const auto results = run_mote_experiment(cfg);
+  EXPECT_EQ(results.false_negative_runs, 0u);
+  EXPECT_EQ(results.false_positive_runs, 0u);
+  for (const auto& entry : results.census) {
+    EXPECT_EQ(entry.missed, 0u);
+    EXPECT_EQ(entry.phantom, 0u);
+  }
+}
+
+TEST(MoteExperiment, IrregularRadioErrorProfileMatchesPaper) {
+  // Full-size run (smaller repeat count for test speed): error rate in low
+  // single-digit percent, zero false positives, misses dominated by k = 1.
+  MoteExperimentConfig cfg;
+  cfg.participants = 12;
+  cfg.thresholds = {2, 4, 6};
+  cfg.runs_per_point = 12;
+  const auto results = run_mote_experiment(cfg);
+  EXPECT_EQ(results.false_positive_runs, 0u);
+  EXPECT_LT(results.run_error_rate(), 0.06);
+  std::size_t missed_k1 = 0, missed_rest = 0;
+  for (const auto& entry : results.census) {
+    EXPECT_EQ(entry.phantom, 0u);
+    if (entry.k == 1)
+      missed_k1 += entry.missed;
+    else
+      missed_rest += entry.missed;
+  }
+  EXPECT_GE(missed_k1, missed_rest);
+}
+
+}  // namespace
+}  // namespace tcast::testbed

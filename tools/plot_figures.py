@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot the figure-reproduction benches next to the paper's figures.
+
+Usage:
+    # regenerate the CSVs, then plot everything into out/
+    for b in build/bench/fig*; do "$b" --csv > "out/$(basename "$b").csv"; done
+    tools/plot_figures.py out/*.csv -o out/
+
+Each bench's --csv output is a plain table: first column is the x-axis,
+remaining columns are the series the corresponding paper figure plots.
+Requires matplotlib (only for this optional script; the library and benches
+have no Python dependency).
+"""
+
+import argparse
+import csv
+import pathlib
+import sys
+
+
+def read_table(path):
+    with open(path, newline="", encoding="utf-8") as fh:
+        rows = list(csv.reader(fh))
+    header, body = rows[0], rows[1:]
+    axis = [float(r[0]) for r in body]
+    series = {}
+    for col, name in enumerate(header[1:], start=1):
+        xs, ys = [], []
+        for r, x in zip(body, axis):
+            if col < len(r) and r[col] != "":
+                xs.append(x)
+                ys.append(float(r[col]))
+        series[name] = (xs, ys)
+    return header[0], axis, series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="bench --csv outputs")
+    parser.add_argument("-o", "--outdir", default=".", help="PNG directory")
+    parser.add_argument("--logy", action="store_true",
+                        help="log-scale the y axis")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for path in args.csvs:
+        xlabel, _, series = read_table(path)
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for name, (xs, ys) in series.items():
+            ax.plot(xs, ys, marker="o", markersize=3, linewidth=1.2,
+                    label=name)
+        ax.set_xlabel(xlabel)
+        ax.set_ylabel("queries / value")
+        if args.logy:
+            ax.set_yscale("log")
+        stem = pathlib.Path(path).stem
+        ax.set_title(stem)
+        ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+        out = outdir / f"{stem}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=140)
+        plt.close(fig)
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,13 @@ double threshold_query_lower_bound(std::size_t n, std::size_t t) {
   return td * std::max(0.0, std::log2(nd / td)) / logt;
 }
 
+double engine_query_bound(std::size_t n, std::size_t t) {
+  const double nd = static_cast<double>(std::max<std::size_t>(n, 1));
+  const double td = static_cast<double>(std::max<std::size_t>(t, 1));
+  const double doubling_span = std::log2(nd) + 2.0;
+  return 2.0 * nd + td * (nd + 1.0) * doubling_span + 4.0;
+}
+
 double two_t_bins_zero_x_cost(std::size_t n, std::size_t t) {
   TCAST_CHECK(t >= 1);
   const double nd = static_cast<double>(n);

@@ -14,6 +14,21 @@ double two_t_bins_upper_bound(std::size_t n, std::size_t t);
 /// shape, used to sanity-check measured averages stay above trivial floors.
 double threshold_query_lower_bound(std::size_t n, std::size_t t);
 
+/// Universal per-run hard ceiling on queries for every RoundEngine-based
+/// algorithm (the conformance harness enforces it on each randomized run,
+/// not just on average). Derivation from the engine's invariants:
+///   * an empty-result query disposes ≥ 1 candidate, and a captured-result
+///     query removes one — at most 2N such queries over a whole run;
+///   * a round sees < t activity results before the threshold test fires,
+///     so activity queries ≤ t per round;
+///   * a completed round either makes progress (disposal or capture, ≤ N of
+///     those) or doubles the bin count (anti-livelock), and bins are clamped
+///     to the candidate count — ≤ log2(N)+2 consecutive doubling rounds.
+/// Total: 2N + t · (N+1) · (log2(N)+2), plus the O(1) out-of-engine queries
+/// (the probabilistic-ABNS hint). Enormously loose for every real algorithm
+/// (typical costs are O(t log(N/t))); it exists to catch runaway loops.
+double engine_query_bound(std::size_t n, std::size_t t);
+
 /// Paper Sec. IV-C closed form for the x = 0 cost of 2tBins:
 /// (n − t) / (n / 2t) — the number of (empty) bins that must be disposed
 /// before fewer than t candidates remain.

@@ -1,0 +1,84 @@
+// Conformance harness: drives registry algorithms through randomized
+// scenarios under a CheckedChannel and reports every invariant violation.
+//
+// Three modes (docs/CONFORMANCE.md):
+//   * check_algorithm   — one (algorithm, scenario) run with all online and
+//                         outcome invariants;
+//   * differential      — all registered algorithms plus the sequential
+//                         baseline on one scenario stream, decisions
+//                         cross-checked against each other and ground truth;
+//   * metamorphic       — order-preserving node relabeling, bin-order
+//                         relabeling, and seed shifts, which must leave the
+//                         deterministic observables unchanged.
+//
+// Registering an algorithm in core::algorithm_registry() is enough to put
+// it under all three — the harness enumerates the registry.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "conformance/checked_channel.hpp"
+#include "conformance/scenario.hpp"
+#include "core/registry.hpp"
+
+namespace tcast::conformance {
+
+/// The worst-case per-run query ceiling registered for `algorithm` on an
+/// (n, t) instance. Currently every registry algorithm is RoundEngine-based
+/// and shares analysis::engine_query_bound; register a tighter name-specific
+/// bound here when adding an algorithm with a stronger guarantee.
+double registered_query_bound(std::string_view algorithm, std::size_t n,
+                              std::size_t t);
+
+struct ConformanceReport {
+  Scenario scenario;
+  std::string algorithm;
+  core::ThresholdOutcome outcome;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Human-readable failure summary (empty when ok).
+  std::string summary() const;
+};
+
+/// Runs `spec` on `scenario` under a CheckedChannel and returns every
+/// violated invariant. All randomness derives from scenario.seed.
+ConformanceReport check_algorithm(const core::AlgorithmSpec& spec,
+                                  const Scenario& scenario);
+
+/// Differential mode: every registered algorithm plus the sequential
+/// baseline on the exact (loss-free) version of `scenario`; a report per
+/// algorithm, each including any decision disagreement with ground truth.
+std::vector<ConformanceReport> differential_check(const Scenario& scenario);
+
+/// Metamorphic relation M1: relabeling node IDs through an order-preserving
+/// map (id → id·stride + offset) must leave the decision AND the query
+/// count bit-identical — the engine canonicalizes candidates by sorted ID,
+/// so monotone relabelings are exactly the transparent ones. Returns a
+/// report whose violations list the observable that moved.
+ConformanceReport metamorphic_relabel_check(const core::AlgorithmSpec& spec,
+                                            const Scenario& scenario,
+                                            NodeId offset, NodeId stride);
+
+/// Metamorphic relation M2: permuting the order bins are queried in (the
+/// in-order vs nonempty-first accounting) must not change the decision.
+ConformanceReport metamorphic_bin_order_check(const core::AlgorithmSpec& spec,
+                                              const Scenario& scenario);
+
+/// Metamorphic relation M3: under the deterministic configuration
+/// (contiguous binning, in-order, 1+ exact) the RNG is never consumed, so
+/// shifting the root seed must leave decision and query count bit-identical
+/// for deterministic algorithms (`deterministic_counts`), and the decision
+/// alone for RNG-consuming ones like prob-abns.
+ConformanceReport metamorphic_seed_shift_check(
+    const core::AlgorithmSpec& spec, const Scenario& scenario,
+    std::uint64_t seed_shift, bool deterministic_counts);
+
+/// True for algorithms whose query count is a pure function of the instance
+/// under the deterministic configuration (everything except the sampling-
+/// hint prob-abns).
+bool has_deterministic_counts(std::string_view algorithm);
+
+}  // namespace tcast::conformance

@@ -1,0 +1,39 @@
+#include "conformance/scenario.hpp"
+
+namespace tcast::conformance {
+
+std::string Scenario::describe() const {
+  std::string s = "n=" + std::to_string(n) + " x=" + std::to_string(x) +
+                  " t=" + std::to_string(t) + " model=" +
+                  group::to_string(model);
+  s += ordering == core::BinOrdering::kNonEmptyFirst ? " ord=nonempty-first"
+                                                     : " ord=in-order";
+  s += scheme == core::BinningScheme::kRandomEqual ? " bins=random"
+                                                   : " bins=contiguous";
+  if (lossy()) s += " loss=" + std::to_string(loss_prob);
+  s += " seed=" + std::to_string(seed);
+  return s;
+}
+
+Scenario random_scenario(RngStream& rng, bool allow_lossy) {
+  Scenario sc;
+  sc.n = static_cast<std::size_t>(rng.uniform_int(1, 96));
+  sc.x = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(sc.n)));
+  // Past-the-population thresholds exercise the trivially-false edge; t = 0
+  // the trivially-true one.
+  sc.t = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(sc.n) + 2));
+  sc.model = rng.bernoulli(0.5) ? group::CollisionModel::kOnePlus
+                                : group::CollisionModel::kTwoPlus;
+  sc.ordering = rng.bernoulli(0.5) ? core::BinOrdering::kNonEmptyFirst
+                                   : core::BinOrdering::kInOrder;
+  sc.scheme = rng.bernoulli(0.25) ? core::BinningScheme::kContiguous
+                                  : core::BinningScheme::kRandomEqual;
+  if (allow_lossy && rng.bernoulli(0.5))
+    sc.loss_prob = rng.uniform_real(0.01, 0.3);
+  sc.seed = rng.bits();
+  return sc;
+}
+
+}  // namespace tcast::conformance

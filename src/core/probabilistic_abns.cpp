@@ -14,10 +14,11 @@ ThresholdOutcome run_probabilistic_abns(group::QueryChannel& channel,
                                         std::size_t t, RngStream& rng,
                                         ProbabilisticAbnsOptions popts,
                                         const EngineOptions& opts) {
-  // Degenerate thresholds resolve without the hint.
+  // Degenerate thresholds resolve without the hint. The threshold passes
+  // through unchanged: the engine already short-circuits t = 0 to `true`
+  // (clamping it to 1 would wrongly answer x ≥ 1).
   if (t == 0 || participants.size() < t || t < 2) {
-    return run_two_t_bins(channel, participants, std::max<std::size_t>(t, 1),
-                          rng, opts);
+    return run_two_t_bins(channel, participants, t, rng, opts);
   }
 
   const QueryCount queries_at_start = channel.queries_used();

@@ -20,14 +20,25 @@ class InstrumentedChannel final : public QueryChannel {
     std::optional<std::size_t> true_positives;  ///< if inner has an oracle
   };
 
+  /// One announced round structure (the full bin partition), plus where in
+  /// the query transcript it happened — the conformance partition checks
+  /// need the bin structure, not just that an announce occurred.
+  struct Announcement {
+    std::vector<std::vector<NodeId>> bins;
+    std::size_t at_query = 0;  ///< transcript index when announced
+  };
+
   explicit InstrumentedChannel(QueryChannel& inner)
       : QueryChannel(inner.model()), inner_(&inner) {}
 
   const std::vector<Record>& transcript() const { return transcript_; }
-  std::size_t announces() const { return announces_; }
+  const std::vector<Announcement>& announcements() const {
+    return announcements_;
+  }
+  std::size_t announces() const { return announcements_.size(); }
   void clear() {
     transcript_.clear();
-    announces_ = 0;
+    announcements_.clear();
   }
 
   std::optional<std::size_t> oracle_positive_count(
@@ -37,7 +48,14 @@ class InstrumentedChannel final : public QueryChannel {
 
  protected:
   void do_announce(const BinAssignment& a) override {
-    ++announces_;
+    Announcement ann;
+    ann.bins.reserve(a.bin_count());
+    for (std::size_t i = 0; i < a.bin_count(); ++i) {
+      const auto bin = a.bin(i);
+      ann.bins.emplace_back(bin.begin(), bin.end());
+    }
+    ann.at_query = transcript_.size();
+    announcements_.push_back(std::move(ann));
     inner_->announce(a);
   }
 
@@ -62,7 +80,7 @@ class InstrumentedChannel final : public QueryChannel {
 
   QueryChannel* inner_;
   std::vector<Record> transcript_;
-  std::size_t announces_ = 0;
+  std::vector<Announcement> announcements_;
 };
 
 }  // namespace tcast::group

@@ -144,6 +144,9 @@ void PacketChannel::do_announce(const BinAssignment& a) {
 BinQueryResult PacketChannel::poll(std::uint16_t bin) {
   BinQueryResult result;
   bool done = false;
+  // Captured by reference in the poll callback, which only fires inside
+  // run_until_flag below — so it must outlive the if/else block.
+  const bool two_plus = model() == CollisionModel::kTwoPlus;
   if (backcast_) {
     backcast_->poll_bin(bin, [&](rcd::BackcastInitiator::PollResult r) {
       result = r.nonempty ? BinQueryResult::activity()
@@ -151,7 +154,6 @@ BinQueryResult PacketChannel::poll(std::uint16_t bin) {
       done = true;
     });
   } else {
-    const bool two_plus = model() == CollisionModel::kTwoPlus;
     pollcast_->poll_bin(bin, [&](rcd::PollcastInitiator::PollResult r) {
       if (two_plus && r.captured) {
         result = BinQueryResult::captured_node(*r.captured);

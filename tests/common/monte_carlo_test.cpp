@@ -53,6 +53,50 @@ TEST(MonteCarlo, BoolTrialsCountSuccesses) {
   EXPECT_NEAR(p.value(), 0.25, 0.03);
 }
 
+TEST(MonteCarlo, DeterminismRegressionAcrossThreadCounts) {
+  // The documented contract in monte_carlo.hpp: merged stats are bit-exact
+  // for ANY worker count given the same root seed. Regression-pin it for
+  // 1, 2 and 8 workers, for both run_trials and run_multi_trials, on a
+  // trial that consumes a non-trivial amount of RNG state.
+  const auto trial = [](RngStream& rng) {
+    double acc = 0.0;
+    for (int i = 0; i < 17; ++i) acc += rng.normal(1.0, 3.0);
+    return acc;
+  };
+  const auto multi_trial = [&trial](RngStream& rng,
+                                    std::vector<double>& out) {
+    out[0] = trial(rng);
+    out[1] = rng.uniform01();
+  };
+
+  ThreadPool p1(1), p2(2), p8(8);
+  ThreadPool* pools[] = {&p1, &p2, &p8};
+
+  MonteCarloConfig base;
+  base.trials = 777;
+  base.seed = 0xfeedULL;
+  base.experiment_id = 5;
+
+  std::vector<RunningStats> single;
+  std::vector<std::vector<RunningStats>> multi;
+  for (ThreadPool* pool : pools) {
+    MonteCarloConfig cfg = base;
+    cfg.pool = pool;
+    single.push_back(run_trials(cfg, trial));
+    multi.push_back(run_multi_trials(cfg, 2, multi_trial));
+  }
+  for (std::size_t i = 1; i < single.size(); ++i) {
+    EXPECT_EQ(single[0].mean(), single[i].mean());  // bit-exact
+    EXPECT_EQ(single[0].variance(), single[i].variance());
+    EXPECT_EQ(single[0].min(), single[i].min());
+    EXPECT_EQ(single[0].max(), single[i].max());
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_EQ(multi[0][m].mean(), multi[i][m].mean());
+      EXPECT_EQ(multi[0][m].variance(), multi[i][m].variance());
+    }
+  }
+}
+
 TEST(MonteCarlo, MultiMetricKeepsMetricsApart) {
   MonteCarloConfig cfg;
   cfg.trials = 50;

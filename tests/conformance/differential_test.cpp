@@ -1,0 +1,40 @@
+// Differential conformance: every registered algorithm plus the sequential
+// baseline runs on the same scenario stream; all decisions must agree with
+// the oracle ground truth (and therefore with each other).
+#include <gtest/gtest.h>
+
+#include "conformance/harness.hpp"
+
+namespace tcast::conformance {
+namespace {
+
+TEST(Differential, AllAlgorithmsAgreeWithGroundTruthOnSharedStream) {
+  RngStream scenario_rng(0xd1ff, 21);
+  for (std::size_t i = 0; i < 120; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    const auto reports = differential_check(sc);
+    // Registry + the sequential baseline.
+    ASSERT_EQ(reports.size(), core::algorithm_registry().size() + 1);
+    for (const auto& report : reports)
+      EXPECT_TRUE(report.ok()) << report.summary();
+    // Cross-check: unanimous decisions across the whole panel.
+    for (const auto& report : reports)
+      EXPECT_EQ(report.outcome.decision, sc.ground_truth())
+          << report.algorithm << " on [" << sc.describe() << "]";
+  }
+}
+
+TEST(Differential, LossyScenariosAreCheckedLossFree) {
+  // differential_check strips the loss injection (algorithms may
+  // legitimately disagree under loss); decisions must then be exact.
+  RngStream scenario_rng(0xd1ff, 22);
+  Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+  sc.loss_prob = 0.25;
+  for (const auto& report : differential_check(sc)) {
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_FALSE(report.scenario.lossy());
+  }
+}
+
+}  // namespace
+}  // namespace tcast::conformance

@@ -1,0 +1,67 @@
+// Metamorphic conformance relations (docs/CONFORMANCE.md):
+//   M1 — order-preserving node relabeling (id → offset + id·stride) leaves
+//        decision and query count bit-identical;
+//   M2 — relabeling the bin query order (in-order vs nonempty-first
+//        accounting) leaves the decision unchanged;
+//   M3 — under the deterministic configuration (contiguous bins, in-order,
+//        1+ exact) seed shifts leave deterministic algorithms bit-identical
+//        and every algorithm's decision unchanged.
+#include <gtest/gtest.h>
+
+#include "conformance/harness.hpp"
+
+namespace tcast::conformance {
+namespace {
+
+TEST(Metamorphic, NodeRelabelingPreservesDecisionAndQueryCount) {
+  RngStream scenario_rng(0x3e7a, 11);
+  const std::pair<NodeId, NodeId> maps[] = {
+      {100, 1},  // pure shift
+      {0, 3},    // pure stride
+      {17, 5},   // both
+  };
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/true);
+    for (const auto& spec : core::algorithm_registry()) {
+      for (const auto& [offset, stride] : maps) {
+        const auto report =
+            metamorphic_relabel_check(spec, sc, offset, stride);
+        EXPECT_TRUE(report.ok()) << report.summary();
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, BinOrderRelabelingPreservesDecision) {
+  RngStream scenario_rng(0xb1b0, 12);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    for (const auto& spec : core::algorithm_registry()) {
+      const auto report = metamorphic_bin_order_check(spec, sc);
+      EXPECT_TRUE(report.ok()) << report.summary();
+    }
+  }
+}
+
+TEST(Metamorphic, SeedShiftPreservesDeterministicQueryCounts) {
+  RngStream scenario_rng(0x5eed, 13);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    for (const auto& spec : core::algorithm_registry()) {
+      for (const std::uint64_t shift : {1ULL, 0x9e3779b9ULL}) {
+        const auto report = metamorphic_seed_shift_check(
+            spec, sc, shift, has_deterministic_counts(spec.name));
+        EXPECT_TRUE(report.ok()) << report.summary();
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, ProbAbnsIsClassifiedNondeterministic) {
+  EXPECT_FALSE(has_deterministic_counts("prob-abns"));
+  EXPECT_TRUE(has_deterministic_counts("2tbins"));
+  EXPECT_TRUE(has_deterministic_counts("abns:t"));
+}
+
+}  // namespace
+}  // namespace tcast::conformance

@@ -1,0 +1,63 @@
+// Registry surface tests: lookup negative paths and the smoke guarantee
+// that every registered algorithm completes (with the correct decision) on
+// a small scenario under both collision models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/registry.hpp"
+#include "group/exact_channel.hpp"
+
+namespace tcast::core {
+namespace {
+
+TEST(Registry, UnknownNameReturnsNullptr) {
+  EXPECT_EQ(find_algorithm("no-such-algorithm"), nullptr);
+  EXPECT_EQ(find_algorithm(""), nullptr);
+  EXPECT_EQ(find_algorithm("2tbins "), nullptr);  // no trimming
+  EXPECT_EQ(find_algorithm("2TBINS"), nullptr);   // case-sensitive
+}
+
+TEST(Registry, KnownNamesResolveToThemselves) {
+  for (const auto& spec : algorithm_registry()) {
+    const AlgorithmSpec* found = find_algorithm(spec.name);
+    ASSERT_NE(found, nullptr) << spec.name;
+    EXPECT_EQ(found->name, spec.name);
+    EXPECT_NE(found->run, nullptr) << spec.name;
+    EXPECT_FALSE(found->description.empty()) << spec.name;
+  }
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& spec : algorithm_registry())
+    EXPECT_TRUE(names.insert(spec.name).second)
+        << "duplicate registry name: " << spec.name;
+}
+
+TEST(Registry, EverySpecCompletesOn16NodesUnderBothModels) {
+  for (const auto model :
+       {group::CollisionModel::kOnePlus, group::CollisionModel::kTwoPlus}) {
+    for (const auto& spec : algorithm_registry()) {
+      for (const std::size_t x : {0u, 3u, 7u, 16u}) {
+        RngStream rng(1234 + x, model == group::CollisionModel::kOnePlus);
+        group::ExactChannel::Config cfg;
+        cfg.model = model;
+        auto channel =
+            group::ExactChannel::with_random_positives(16, x, rng, cfg);
+        const std::size_t t = 5;
+        const auto out =
+            spec.run(channel, channel.all_nodes(), t, rng, EngineOptions{});
+        EXPECT_EQ(out.decision, x >= t)
+            << spec.name << " model=" << group::to_string(model)
+            << " x=" << x;
+        EXPECT_EQ(out.queries, channel.queries_used())
+            << spec.name << " model=" << group::to_string(model)
+            << " x=" << x;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcast::core

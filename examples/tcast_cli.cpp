@@ -2,18 +2,24 @@
 //
 //   tcast_cli [--algo NAME] [--n N] [--x X] [--t T] [--model 1+|2+]
 //             [--trials K] [--seed S] [--tier exact|packet] [--list]
+//             [--fault-plan SPEC] [--fault-seed S] [--retry SPEC]
+//             [--verbose]
 //
 // Examples:
 //   tcast_cli --list
 //   tcast_cli --algo 2tbins --n 128 --x 20 --t 16 --trials 1000
 //   tcast_cli --algo prob-abns --n 32 --x 12 --t 8 --model 2+
 //   tcast_cli --tier packet --n 12 --x 5 --t 4     # full radio emulation
+//   tcast_cli --n 24 --x 8 --t 8 --fault-plan ge=0.02:0.25:0:0.7 \
+//             --retry fixed:3 --verbose            # loss-robustness sweep
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "common/monte_carlo.hpp"
 #include "core/registry.hpp"
+#include "faults/faulty_channel.hpp"
 #include "group/exact_channel.hpp"
 #include "group/packet_channel.hpp"
 
@@ -30,6 +36,10 @@ struct CliOptions {
   std::uint64_t seed = 1;
   bool packet_tier = false;
   bool list = false;
+  bool verbose = false;
+  std::optional<tcast::faults::FaultPlan> fault_plan;
+  std::uint64_t fault_seed = 1;
+  tcast::core::RetryPolicy retry;
   bool ok = true;
 };
 
@@ -42,6 +52,8 @@ CliOptions parse(int argc, char** argv) {
     };
     if (arg == "--list") {
       o.list = true;
+    } else if (arg == "--verbose") {
+      o.verbose = true;
     } else if (arg == "--algo") {
       if (const char* v = next()) o.algo = v;
     } else if (arg == "--n") {
@@ -54,6 +66,31 @@ CliOptions parse(int argc, char** argv) {
       if (const char* v = next()) o.trials = std::stoul(v);
     } else if (arg == "--seed") {
       if (const char* v = next()) o.seed = std::stoull(v);
+    } else if (arg == "--fault-seed") {
+      if (const char* v = next()) o.fault_seed = std::stoull(v);
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      auto plan = v ? tcast::faults::FaultPlan::parse(v) : std::nullopt;
+      if (!plan) {
+        std::fprintf(stderr, "malformed --fault-plan spec: %s\n",
+                     v ? v : "(missing)");
+        o.ok = false;
+      } else {
+        o.fault_plan = *plan;
+      }
+    } else if (arg == "--retry") {
+      const char* v = next();
+      auto policy =
+          v ? tcast::core::RetryPolicy::parse(v) : std::nullopt;
+      if (!policy) {
+        std::fprintf(stderr,
+                     "malformed --retry spec (none | fixed:R | "
+                     "adaptive:TARGET[:CAP]): %s\n",
+                     v ? v : "(missing)");
+        o.ok = false;
+      } else {
+        o.retry = *policy;
+      }
     } else if (arg == "--model") {
       const char* v = next();
       if (v && std::strcmp(v, "2+") == 0)
@@ -99,12 +136,33 @@ int main(int argc, char** argv) {
   MonteCarloConfig mc;
   mc.trials = opts.trials;
   mc.seed = opts.seed;
-  RunningStats queries, rounds;
+  RunningStats queries, rounds, retries;
   Proportion correct;
+  std::size_t false_yes = 0, false_no = 0, faults_injected = 0,
+              faults_seen = 0;
   const bool truth = opts.x >= opts.t;
 
   for (std::size_t trial = 0; trial < mc.trials; ++trial) {
     RngStream rng(mc.seed, trial_stream_id(0, trial));
+    core::EngineOptions eopts;
+    eopts.retry = opts.retry;
+
+    // Lambda over the base channel so fault injection composes with both
+    // tiers identically.
+    const auto run_on = [&](group::QueryChannel& base,
+                            std::span<const NodeId> nodes) {
+      if (!opts.fault_plan) return spec->run(base, nodes, opts.t, rng, eopts);
+      faults::FaultPlan plan = *opts.fault_plan;
+      plan.seed = opts.fault_seed + trial;  // replayable per trial
+      faults::FaultyChannel faulty(base, nodes, plan);
+      const auto out = spec->run(faulty, nodes, opts.t, rng, eopts);
+      faults_injected += faulty.log().size();
+      if (opts.verbose && !faulty.log().empty())
+        std::printf("trial %zu faults (plan %s):\n%s", trial,
+                    plan.spec().c_str(), faulty.log().to_string().c_str());
+      return out;
+    };
+
     core::ThresholdOutcome out;
     if (opts.packet_tier) {
       std::vector<bool> positive(opts.n, false);
@@ -114,20 +172,23 @@ int main(int argc, char** argv) {
       cfg.model = opts.model;
       cfg.seed = mc.seed + trial;
       group::PacketChannel channel(positive, cfg);
-      core::EngineOptions eopts;
       eopts.ordering = core::BinOrdering::kInOrder;
-      out = spec->run(channel, channel.all_nodes(), opts.t, rng, eopts);
+      out = run_on(channel, channel.all_nodes());
     } else {
       group::ExactChannel::Config cfg;
       cfg.model = opts.model;
       auto channel = group::ExactChannel::with_random_positives(
           opts.n, opts.x, rng, cfg);
-      out = spec->run(channel, channel.all_nodes(), opts.t, rng,
-                      core::EngineOptions{});
+      if (opts.fault_plan) eopts.ordering = core::BinOrdering::kInOrder;
+      out = run_on(channel, channel.all_nodes());
     }
     queries.add(static_cast<double>(out.queries));
     rounds.add(static_cast<double>(out.rounds));
+    retries.add(static_cast<double>(out.retries));
+    faults_seen += out.faults_seen;
     correct.add(out.decision == truth);
+    if (out.decision && !truth) ++false_yes;
+    if (!out.decision && truth) ++false_no;
   }
 
   std::printf("algorithm : %s (%s)\n", spec->name.c_str(),
@@ -141,5 +202,14 @@ int main(int argc, char** argv) {
   std::printf("accuracy  : %.2f%% (%zu/%zu correct)\n",
               100.0 * correct.value(), correct.successes(),
               correct.trials());
+  if (opts.fault_plan) {
+    std::printf("faults    : plan=%s retry=%s\n",
+                opts.fault_plan->spec().c_str(), opts.retry.spec().c_str());
+    std::printf("wrong     : %zu false-yes, %zu false-no over %zu trials\n",
+                false_yes, false_no, mc.trials);
+    std::printf("injected  : %zu faults (%zu caught by retries)\n",
+                faults_injected, faults_seen);
+    std::printf("retries   : %s\n", retries.to_string().c_str());
+  }
   return 0;
 }

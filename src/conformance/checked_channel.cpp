@@ -24,6 +24,17 @@ CheckedChannel::CheckedChannel(group::QueryChannel& inner,
       instr_(inner),
       cfg_(cfg),
       participants_(participants.begin(), participants.end()) {
+  // The ≥2-activity inference is only sound when a lone reply always
+  // decodes; a configuration that claims it on a channel declaring loss is
+  // itself a conformance violation (the engine's soundness gate must have
+  // cleared the bit before the run).
+  if (cfg_.two_plus_activity_counts_two &&
+      model() == group::CollisionModel::kTwoPlus && inner.lossy()) {
+    add_violation(Violation::Category::kTruth,
+                  "configuration claims the ≥2-activity inference on a "
+                  "channel that declares lossy() — a lone reply may fail "
+                  "to decode there");
+  }
   NodeId max_id = 0;
   for (const NodeId id : participants_) max_id = std::max(max_id, id);
   state_.assign(static_cast<std::size_t>(max_id) + 1, NodeState::kUnknown);

@@ -82,6 +82,8 @@ class CheckedChannel final : public group::QueryChannel {
 
   std::size_t true_positive_count() const { return truth_positive_count_; }
 
+  bool lossy() const override { return instr_.lossy(); }
+
   std::optional<std::size_t> oracle_positive_count(
       std::span<const NodeId> nodes) const override {
     return instr_.oracle_positive_count(nodes);

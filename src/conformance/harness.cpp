@@ -76,8 +76,9 @@ ConformanceReport check_algorithm(const core::AlgorithmSpec& spec,
 
   CheckedChannel::Config ccfg;
   ccfg.exact_semantics = !scenario.lossy();
-  ccfg.two_plus_activity_counts_two =
-      scenario.engine_options().two_plus_activity_counts_two;
+  // Mirror the engine's soundness gate: on lossy scenarios the ≥2 inference
+  // is auto-disabled, so the checker must not demand (or permit) it either.
+  ccfg.two_plus_activity_counts_two = scenario.effective_counts_two();
   ccfg.query_bound =
       registered_query_bound(spec.name, scenario.n, scenario.t);
   CheckedChannel checked(*inner, participants, ccfg);
@@ -267,6 +268,40 @@ bool has_deterministic_counts(std::string_view algorithm) {
   // a different branch per seed) even under the deterministic engine
   // configuration; everything else is RNG-free there.
   return algorithm != "prob-abns";
+}
+
+void WrongAnswerTally::record(std::string_view algorithm,
+                              const Scenario& scenario,
+                              const core::ThresholdOutcome& outcome) {
+  auto& per = by_algorithm_[std::string(algorithm)];
+  ++per.runs;
+  ++runs_;
+  const bool truth = scenario.ground_truth();
+  if (outcome.decision == truth) return;
+  if (outcome.decision) {
+    ++per.false_yes;
+    ++false_yes_;
+  } else {
+    ++per.false_no;
+    ++false_no_;
+  }
+  wrong_by_loss_.add(scenario.loss_prob);
+}
+
+std::string WrongAnswerTally::report() const {
+  std::string s = "wrong answers over " + std::to_string(runs_) + " runs: " +
+                  std::to_string(false_yes_) + " false-yes, " +
+                  std::to_string(false_no_) + " false-no\n";
+  for (const auto& [name, per] : by_algorithm_) {
+    s += "  " + name + ": " + std::to_string(per.runs) + " runs, " +
+         std::to_string(per.false_yes) + " false-yes, " +
+         std::to_string(per.false_no) + " false-no\n";
+  }
+  if (false_yes_ + false_no_ > 0) {
+    s += "wrong answers by scenario loss rate:\n";
+    s += wrong_by_loss_.ascii();
+  }
+  return s;
 }
 
 }  // namespace tcast::conformance

@@ -15,10 +15,12 @@
 // it under all three — the harness enumerates the registry.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "conformance/checked_channel.hpp"
 #include "conformance/scenario.hpp"
 #include "core/registry.hpp"
@@ -80,5 +82,39 @@ ConformanceReport metamorphic_seed_shift_check(
 /// under the deterministic configuration (everything except the sampling-
 /// hint prob-abns).
 bool has_deterministic_counts(std::string_view algorithm);
+
+/// Aggregates wrong answers across a conformance sweep: per-algorithm counts
+/// split by direction (false "yes" vs false "no") plus a histogram of the
+/// scenario loss rates at which wrong answers occurred — the harness's
+/// per-scenario degradation profile. On the exact tier both columns must
+/// stay zero; under injected loss false "no" is expected and false "yes"
+/// must still be zero (loss cannot manufacture positives).
+class WrongAnswerTally {
+ public:
+  /// Folds one finished run into the tally.
+  void record(std::string_view algorithm, const Scenario& scenario,
+              const core::ThresholdOutcome& outcome);
+
+  std::size_t runs() const { return runs_; }
+  std::size_t false_yes() const { return false_yes_; }
+  std::size_t false_no() const { return false_no_; }
+
+  /// Per-algorithm table plus the loss-rate histogram of wrong answers.
+  std::string report() const;
+
+ private:
+  struct PerAlgorithm {
+    std::size_t runs = 0;
+    std::size_t false_yes = 0;
+    std::size_t false_no = 0;
+  };
+
+  std::map<std::string, PerAlgorithm, std::less<>> by_algorithm_;
+  std::size_t runs_ = 0;
+  std::size_t false_yes_ = 0;
+  std::size_t false_no_ = 0;
+  /// Scenario loss rates of wrong-answer runs; the sweep caps loss at 0.3.
+  Histogram wrong_by_loss_{0.0, 0.32, 8};
+};
 
 }  // namespace tcast::conformance

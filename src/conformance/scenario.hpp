@@ -37,6 +37,13 @@ struct Scenario {
     opts.scheme = scheme;
     return opts;
   }
+
+  /// What the ≥2-activity inference is allowed to be on this scenario: the
+  /// engine's soundness gate auto-disables it under loss, and the
+  /// CheckedChannel must mirror that or it would demand an unsound check.
+  bool effective_counts_two() const {
+    return engine_options().two_plus_activity_counts_two && !lossy();
+  }
 };
 
 /// Draws a randomized scenario: n ∈ [1, 96], x ∈ [0, n], t ∈ [0, n+2]
@@ -61,6 +68,8 @@ class LossyChannel final : public group::QueryChannel {
         rng_(&rng) {}
 
   std::size_t injected_losses() const { return injected_; }
+
+  bool lossy() const override { return loss_prob_ > 0.0 || inner_->lossy(); }
 
   std::optional<std::size_t> oracle_positive_count(
       std::span<const NodeId> nodes) const override {

@@ -1,11 +1,61 @@
 #include "core/round_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "common/check.hpp"
 
 namespace tcast::core {
+
+std::optional<RetryPolicy> RetryPolicy::parse(std::string_view text) {
+  const auto number = [](std::string_view v) -> std::optional<double> {
+    if (v.empty()) return std::nullopt;
+    const std::string buf(v);
+    char* end = nullptr;
+    const double d = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return std::nullopt;
+    return d;
+  };
+  if (text == "none") return none();
+  if (text.starts_with("fixed:")) {
+    const auto r = number(text.substr(6));
+    if (!r || *r < 0 || *r != std::floor(*r)) return std::nullopt;
+    return fixed(static_cast<std::size_t>(*r));
+  }
+  if (text.starts_with("adaptive:")) {
+    auto rest = text.substr(9);
+    const auto colon = rest.find(':');
+    const auto target = number(rest.substr(0, colon));
+    if (!target || *target <= 0.0 || *target >= 1.0) return std::nullopt;
+    std::size_t cap = 8;
+    if (colon != std::string_view::npos) {
+      const auto c = number(rest.substr(colon + 1));
+      if (!c || *c < 1 || *c != std::floor(*c)) return std::nullopt;
+      cap = static_cast<std::size_t>(*c);
+    }
+    return adaptive(*target, cap);
+  }
+  return std::nullopt;
+}
+
+std::string RetryPolicy::spec() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kFixed:
+      return "fixed:" + std::to_string(retries);
+    case Kind::kAdaptive: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "adaptive:%g:%zu", target_residual,
+                    max_retries);
+      return buf;
+    }
+  }
+  return "none";
+}
 
 RoundEngine::RoundEngine(group::QueryChannel& channel, RngStream& rng,
                          EngineOptions opts)
@@ -74,11 +124,46 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
   std::size_t bins = clamp_bins(policy.initial_bins(candidates, threshold),
                                 alive_count);
 
+  // Soundness gate: the "activity ⇒ ≥2" credit assumes a lone reply always
+  // decodes. On a channel that declares itself lossy a lone reply may fail
+  // to decode (and read as activity), so the inference would manufacture
+  // positives — auto-disable it there, whatever the options say.
+  const bool lossy_channel = channel_->lossy();
   const std::size_t activity_lb =
       (channel_->model() == group::CollisionModel::kTwoPlus &&
-       opts_.two_plus_activity_counts_two)
+       opts_.two_plus_activity_counts_two && !lossy_channel)
           ? 2
           : 1;
+
+  // Retry state (only consulted on lossy channels). The adaptive policy
+  // estimates the false-empty rate from contradicted silences — a silent
+  // bin that answers on re-query was a lost reply — and sizes the retry
+  // budget so p̂^(1+retries) ≤ target_residual.
+  const bool retry_enabled =
+      lossy_channel && opts_.retry.kind != RetryPolicy::Kind::kNone;
+  std::size_t empties_observed = 0;  // silent results seen (retry path)
+  std::size_t losses_caught = 0;     // silences contradicted by a re-query
+  const auto retry_budget = [&]() -> std::size_t {
+    switch (opts_.retry.kind) {
+      case RetryPolicy::Kind::kNone:
+        return 0;
+      case RetryPolicy::Kind::kFixed:
+        return opts_.retry.retries;
+      case RetryPolicy::Kind::kAdaptive: {
+        // Laplace-smoothed estimate; pessimistic while data is scarce.
+        const double p_hat = (static_cast<double>(losses_caught) + 1.0) /
+                             (static_cast<double>(empties_observed) + 2.0);
+        const double attempts =
+            std::ceil(std::log(opts_.retry.target_residual) /
+                      std::log(p_hat));
+        const auto extra =
+            attempts <= 1.0 ? std::size_t{1}
+                            : static_cast<std::size_t>(attempts) - 1;
+        return std::clamp<std::size_t>(extra, 1, opts_.retry.max_retries);
+      }
+    }
+    return 0;
+  };
 
   for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
     ++out.rounds;
@@ -93,8 +178,25 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
     std::size_t round_lb = 0;  // positives certified by this round's bins
 
     for (const std::size_t idx : order) {
-      const auto result = channel_->query_bin(assignment, idx);
+      auto result = channel_->query_bin(assignment, idx);
       ++stats.bins_queried;
+      if (result.kind == group::BinQueryResult::Kind::kEmpty &&
+          retry_enabled) {
+        // Silence on a lossy channel proves nothing yet: re-query before
+        // the disposal commits. Any non-empty answer supersedes it.
+        ++empties_observed;
+        const std::size_t budget = retry_budget();
+        for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+          ++out.retries;
+          const auto again = channel_->query_bin(assignment, idx);
+          if (again.kind != group::BinQueryResult::Kind::kEmpty) {
+            ++losses_caught;
+            ++out.faults_seen;
+            result = again;
+            break;
+          }
+        }
+      }
       switch (result.kind) {
         case group::BinQueryResult::Kind::kEmpty:
           ++stats.empty_bins;

@@ -20,7 +20,10 @@
 // which reduces exactly to Alg. 1 lines 11/14 in the 1+ model.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,12 +46,54 @@ enum class BinningScheme {
   kContiguous,   ///< deterministic variant of [4] (ablation)
 };
 
+/// How the engine treats silent bins on a channel that declares loss
+/// (QueryChannel::lossy()). On a lossless channel silence is proof and no
+/// policy ever re-queries — RetryPolicy is bit-exact with the historical
+/// engine there, whatever its kind.
+struct RetryPolicy {
+  enum class Kind : std::uint8_t {
+    kNone,      ///< accept silence at face value (the paper's engine)
+    kFixed,     ///< re-query a silent bin up to `retries` times
+    kAdaptive,  ///< re-query until the estimated residual false-empty
+                ///< probability drops under `target_residual`
+  };
+
+  Kind kind = Kind::kNone;
+  /// kFixed: extra attempts per silent bin before the disposal commits.
+  std::size_t retries = 2;
+  /// kAdaptive: accept a disposal once p̂^(attempts) ≤ target_residual,
+  /// where p̂ is the running loss-rate estimate from contradicted empties.
+  double target_residual = 1e-3;
+  /// kAdaptive: hard cap on extra attempts per silent bin.
+  std::size_t max_retries = 8;
+
+  static RetryPolicy none() { return {}; }
+  static RetryPolicy fixed(std::size_t r) {
+    return {Kind::kFixed, r, 1e-3, 8};
+  }
+  static RetryPolicy adaptive(double target, std::size_t cap = 8) {
+    return {Kind::kAdaptive, 2, target, cap};
+  }
+
+  /// Parses "none" | "fixed:R" | "adaptive:TARGET[:CAP]".
+  static std::optional<RetryPolicy> parse(std::string_view text);
+  std::string spec() const;
+
+  bool operator==(const RetryPolicy&) const = default;
+};
+
 struct EngineOptions {
   BinOrdering ordering = BinOrdering::kNonEmptyFirst;
   BinningScheme scheme = BinningScheme::kRandomEqual;
   /// 2+ model: count an undecoded-activity bin as ≥2 positives. Sound when
-  /// a lone reply always decodes (exact tier; lossless packet tier).
+  /// a lone reply always decodes (exact tier; lossless packet tier). The
+  /// engine auto-disables the inference on channels that declare lossy() —
+  /// a lone reply that fails to decode reads as activity there, and the
+  /// ≥2 credit would manufacture positives (false "yes").
   bool two_plus_activity_counts_two = true;
+  /// Loss robustness: what to do before committing a silent-bin disposal on
+  /// a lossy channel (no effect on lossless channels).
+  RetryPolicy retry;
   /// Safety valve; no exact algorithm comes near this (tests assert so).
   std::size_t max_rounds = 10'000;
 };
@@ -59,6 +104,12 @@ struct ThresholdOutcome {
   std::size_t rounds = 0;           ///< rounds entered
   std::size_t confirmed_positives = 0;  ///< identities captured (2+ only)
   std::size_t remaining_candidates = 0; ///< undecided nodes at termination
+  /// Re-query attempts spent on silent bins (RetryPolicy; part of
+  /// `queries`, broken out so sweeps can report the robustness overhead).
+  std::size_t retries = 0;
+  /// Silent bins contradicted by a re-query — each is direct evidence of a
+  /// lost reply the unguarded engine would have turned into a disposal.
+  std::size_t faults_seen = 0;
 };
 
 /// What a policy sees after each completed (not early-terminated) round.

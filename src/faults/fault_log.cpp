@@ -1,0 +1,35 @@
+#include "faults/fault_log.hpp"
+
+#include <algorithm>
+
+namespace tcast::faults {
+
+const char* to_string(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kFalseEmpty: return "false-empty";
+    case FaultEvent::Kind::kCaptureDowngrade: return "capture-downgrade";
+    case FaultEvent::Kind::kSpuriousActivity: return "spurious-activity";
+    case FaultEvent::Kind::kCrash: return "crash";
+    case FaultEvent::Kind::kReboot: return "reboot";
+  }
+  return "?";
+}
+
+std::size_t FaultLog::count(FaultEvent::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+std::string FaultLog::to_string() const {
+  std::string s;
+  for (const auto& e : events_) {
+    s += "q=" + std::to_string(e.at_query) + " " +
+         faults::to_string(e.kind);
+    if (e.node != kNoNode) s += " node=" + std::to_string(e.node);
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace tcast::faults

@@ -1,0 +1,134 @@
+#include "faults/faulty_channel.hpp"
+
+#include <algorithm>
+
+namespace tcast::faults {
+
+FaultyChannel::FaultyChannel(group::QueryChannel& inner,
+                             std::span<const NodeId> participants,
+                             FaultPlan plan)
+    : QueryChannel(inner.model()),
+      inner_(&inner),
+      plan_(plan),
+      rng_(plan.seed, /*stream=*/0xFA17ULL),  // fixed fault stream id
+      participants_(participants.begin(), participants.end()) {
+  NodeId max_id = 0;
+  for (const NodeId id : participants_) max_id = std::max(max_id, id);
+  crashed_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  reboot_due_.assign(crashed_.size(), 0);
+}
+
+bool FaultyChannel::loss_draw() {
+  switch (plan_.process) {
+    case FaultPlan::LossProcess::kNone:
+      return false;
+    case FaultPlan::LossProcess::kIid:
+      return rng_.bernoulli(plan_.loss);
+    case FaultPlan::LossProcess::kGilbertElliott:
+      // Step the chain, then draw the loss of the state just entered. Two
+      // RNG draws per query regardless of outcome, so replays stay aligned.
+      ge_bad_ = ge_bad_ ? !rng_.bernoulli(plan_.ge_exit_bad)
+                        : rng_.bernoulli(plan_.ge_enter_bad);
+      return rng_.bernoulli(ge_bad_ ? plan_.ge_loss_bad
+                                    : plan_.ge_loss_good);
+  }
+  return false;
+}
+
+void FaultyChannel::run_crash_schedule(QueryCount at) {
+  if (plan_.crash_rate <= 0.0) return;
+  if (plan_.reboot_after > 0 && crashed_count_ > 0) {
+    for (std::size_t idx = 0; idx < crashed_.size(); ++idx) {
+      if (crashed_[idx] && reboot_due_[idx] <= at) {
+        crashed_[idx] = 0;
+        --crashed_count_;
+        log_.record(FaultEvent::Kind::kReboot, at,
+                    static_cast<NodeId>(idx));
+      }
+    }
+  }
+  if (!rng_.bernoulli(plan_.crash_rate)) return;
+  if (crashed_count_ >= participants_.size()) return;
+  // Uniform victim among the currently-alive participants.
+  std::vector<NodeId> alive;
+  alive.reserve(participants_.size() - crashed_count_);
+  for (const NodeId id : participants_)
+    if (!crashed_[static_cast<std::size_t>(id)]) alive.push_back(id);
+  const NodeId victim =
+      alive[static_cast<std::size_t>(rng_.uniform_below(alive.size()))];
+  crashed_[static_cast<std::size_t>(victim)] = 1;
+  ++crashed_count_;
+  if (plan_.reboot_after > 0)
+    reboot_due_[static_cast<std::size_t>(victim)] = at + plan_.reboot_after;
+  log_.record(FaultEvent::Kind::kCrash, at, victim);
+}
+
+group::BinQueryResult FaultyChannel::corrupt(group::BinQueryResult r,
+                                             QueryCount at) {
+  // Draws happen unconditionally (for each enabled fault class) so the
+  // per-query RNG consumption is constant; application is sequential, so a
+  // lost reply plus interference legitimately reads as spurious activity.
+  const bool lost = plan_.process != FaultPlan::LossProcess::kNone
+                        ? loss_draw()
+                        : false;
+  const bool downgrade = plan_.capture_downgrade > 0.0
+                             ? rng_.bernoulli(plan_.capture_downgrade)
+                             : false;
+  const bool spurious = plan_.spurious_activity > 0.0
+                            ? rng_.bernoulli(plan_.spurious_activity)
+                            : false;
+  if (lost && r.nonempty()) {
+    log_.record(FaultEvent::Kind::kFalseEmpty, at);
+    r = group::BinQueryResult::empty();
+  }
+  if (downgrade && r.kind == group::BinQueryResult::Kind::kCaptured) {
+    log_.record(FaultEvent::Kind::kCaptureDowngrade, at, r.captured);
+    r = group::BinQueryResult::activity();
+  }
+  if (spurious && r.kind == group::BinQueryResult::Kind::kEmpty) {
+    log_.record(FaultEvent::Kind::kSpuriousActivity, at);
+    r = group::BinQueryResult::activity();
+  }
+  return r;
+}
+
+group::BinQueryResult FaultyChannel::do_query_bin(
+    const group::BinAssignment& a, std::size_t idx) {
+  const QueryCount at = queries_used() - 1;  // base class already counted us
+  run_crash_schedule(at);
+  const auto bin = a.bin(idx);
+  const bool any_crashed =
+      crashed_count_ > 0 &&
+      std::any_of(bin.begin(), bin.end(),
+                  [this](NodeId id) { return is_crashed(id); });
+  group::BinQueryResult r;
+  if (any_crashed) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(bin.size());
+    for (const NodeId id : bin)
+      if (!is_crashed(id)) filtered.push_back(id);
+    r = inner_->query_set(filtered);
+  } else {
+    r = inner_->query_bin(a, idx);
+  }
+  return corrupt(r, at);
+}
+
+group::BinQueryResult FaultyChannel::do_query_set(
+    std::span<const NodeId> nodes) {
+  const QueryCount at = queries_used() - 1;
+  run_crash_schedule(at);
+  group::BinQueryResult r;
+  if (crashed_count_ > 0) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(nodes.size());
+    for (const NodeId id : nodes)
+      if (!is_crashed(id)) filtered.push_back(id);
+    r = inner_->query_set(filtered);
+  } else {
+    r = inner_->query_set(nodes);
+  }
+  return corrupt(r, at);
+}
+
+}  // namespace tcast::faults

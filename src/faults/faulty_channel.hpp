@@ -1,0 +1,91 @@
+// FaultyChannel: a deterministic fault-injecting QueryChannel decorator.
+//
+// Wraps any channel and executes a FaultPlan against it. Per query, in a
+// fixed order (so the RNG consumption per query is constant and every run
+// of the same plan is bit-identical):
+//
+//   1. crash/reboot bookkeeping — due reboots fire, then the crash draw may
+//      take down one uniformly-random alive participant;
+//   2. the query resolves against the inner channel with crashed nodes'
+//      replies suppressed (they are filtered out of the queried set — a
+//      crashed mote is silent, whatever its sensor holds);
+//   3. the loss-process draw (i.i.d. or Gilbert–Elliott): when it fires and
+//      the result was non-empty, the result degrades to silence
+//      (false-empty — the HACK-loss mechanism of Fig. 4);
+//   4. the capture-downgrade draw: a surviving kCaptured degrades to
+//      kActivity (lone-reply decode failure);
+//   5. the spurious-activity draw: a surviving kEmpty reads as kActivity
+//      (foreign energy in the vote window).
+//
+// Every injected fault is recorded in the FaultLog. The decorator declares
+// itself lossy() whenever the plan can misreport, which is what trips the
+// round engine's soundness gate and enables its retry policies.
+//
+// The oracle hook forwards, so instrumented/checked layers above keep their
+// ground-truth view; ground truth is *not* consulted for injection — all
+// faults are functions of (plan, query index, result) only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/fault_log.hpp"
+#include "faults/fault_plan.hpp"
+#include "group/query_channel.hpp"
+
+namespace tcast::faults {
+
+class FaultyChannel final : public group::QueryChannel {
+ public:
+  /// `participants` is the crashable universe (usually inner.all_nodes()).
+  /// All fault randomness derives from plan.seed — `inner`'s own RNG is
+  /// untouched.
+  FaultyChannel(group::QueryChannel& inner,
+                std::span<const NodeId> participants, FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultLog& log() const { return log_; }
+
+  std::size_t crashed_count() const { return crashed_count_; }
+  bool is_crashed(NodeId id) const {
+    const auto idx = static_cast<std::size_t>(id);
+    return idx < crashed_.size() && crashed_[idx];
+  }
+
+  bool lossy() const override { return plan_.lossy() || inner_->lossy(); }
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override {
+    return inner_->oracle_positive_count(nodes);
+  }
+
+ protected:
+  void do_announce(const group::BinAssignment& a) override {
+    inner_->announce(a);
+  }
+  group::BinQueryResult do_query_bin(const group::BinAssignment& a,
+                                     std::size_t idx) override;
+  group::BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
+
+ private:
+  /// Step 1 above; `at` is this query's index.
+  void run_crash_schedule(QueryCount at);
+  /// Steps 3–5; consumes a fixed number of RNG draws per call.
+  group::BinQueryResult corrupt(group::BinQueryResult r, QueryCount at);
+  /// True when the loss process fires for this query (chain stepped first).
+  bool loss_draw();
+
+  group::QueryChannel* inner_;
+  FaultPlan plan_;
+  RngStream rng_;
+  FaultLog log_;
+
+  std::vector<NodeId> participants_;
+  std::vector<char> crashed_;              ///< indexed by NodeId
+  std::vector<QueryCount> reboot_due_;     ///< indexed by NodeId; reboot at this query
+  std::size_t crashed_count_ = 0;
+  bool ge_bad_ = false;                    ///< Gilbert–Elliott state
+};
+
+}  // namespace tcast::faults

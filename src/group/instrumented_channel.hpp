@@ -46,6 +46,8 @@ class InstrumentedChannel final : public QueryChannel {
     return inner_->oracle_positive_count(nodes);
   }
 
+  bool lossy() const override { return inner_->lossy(); }
+
  protected:
   void do_announce(const BinAssignment& a) override {
     Announcement ann;

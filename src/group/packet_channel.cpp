@@ -141,7 +141,7 @@ void PacketChannel::do_announce(const BinAssignment& a) {
   ensure_announced(a.to_wire(positive_.size()));
 }
 
-BinQueryResult PacketChannel::poll(std::uint16_t bin) {
+BinQueryResult PacketChannel::poll_once(std::uint16_t bin) {
   BinQueryResult result;
   bool done = false;
   // Captured by reference in the poll callback, which only fires inside
@@ -168,6 +168,34 @@ BinQueryResult PacketChannel::poll(std::uint16_t bin) {
   sim_->run_until_flag([&done] { return done; });
   TCAST_CHECK_MSG(done, "poll did not complete");
   return result;
+}
+
+BinQueryResult PacketChannel::poll(std::uint16_t bin) {
+  BinQueryResult result = poll_once(bin);
+  // A silent bin is indistinguishable from a poll frame lost on the air;
+  // when re-polling is configured, back off exponentially and try again
+  // before reporting silence. Non-empty results are accepted immediately.
+  SimTime backoff = cfg_.poll_backoff;
+  for (std::size_t attempt = 1;
+       attempt < cfg_.poll_attempts &&
+       result.kind == BinQueryResult::Kind::kEmpty;
+       ++attempt) {
+    bool waited = false;
+    sim_->schedule_after(backoff, [&waited] { waited = true; });
+    sim_->run_until_flag([&waited] { return waited; });
+    backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                   cfg_.poll_backoff_multiplier);
+    ++repolls_;
+    count_extra_query();
+    result = poll_once(bin);
+  }
+  return result;
+}
+
+bool PacketChannel::lossy() const {
+  return cfg_.channel.clean_loss > 0.0 ||
+         cfg_.channel.hack.miss_probability(1) > 0.0 ||
+         cfg_.interference_duty > 0.0;
 }
 
 BinQueryResult PacketChannel::do_query_bin(const BinAssignment& a,

@@ -48,6 +48,15 @@ class PacketChannel final : public QueryChannel {
     double interference_duty = 0.0;
     std::size_t interference_frame_bytes = 32;
 
+    /// Loss robustness at the packet tier: a silent poll is re-issued after
+    /// an exponentially growing backoff (a lost poll frame is
+    /// indistinguishable from an empty bin; re-polling restores delivery).
+    /// Every re-poll occupies a slot and is counted as a query — the
+    /// paper's cost accounting stays honest. 1 = a single poll (off).
+    std::size_t poll_attempts = 1;
+    SimTime poll_backoff = 960 * kMicrosecond;  ///< gap before 1st re-poll
+    double poll_backoff_multiplier = 2.0;       ///< growth per re-poll
+
     /// Spatial layout (only meaningful when channel.range > 0): initiator
     /// placement, per-participant placements (defaults to the initiator's
     /// spot when shorter than n), and where the foreign transmitter sits.
@@ -72,6 +81,14 @@ class PacketChannel final : public QueryChannel {
   double participant_energy_mj(NodeId id);
   std::uint64_t interference_frames() const;
 
+  /// Backoff re-polls issued for silent bins (each also counted a query).
+  std::uint64_t repolls() const { return repolls_; }
+
+  /// The PHY can misreport here whenever lone frames may be dropped
+  /// (clean_loss), a lone HACK may fail to decode (non-ideal HACK model),
+  /// or foreign energy can land in the vote window (interference).
+  bool lossy() const override;
+
  protected:
   void do_announce(const BinAssignment& a) override;
   BinQueryResult do_query_bin(const BinAssignment& a,
@@ -82,6 +99,7 @@ class PacketChannel final : public QueryChannel {
   struct Participant;
 
   BinQueryResult poll(std::uint16_t bin);
+  BinQueryResult poll_once(std::uint16_t bin);
   void ensure_announced(const std::vector<std::uint16_t>& wire);
 
   std::vector<bool> positive_;
@@ -95,6 +113,7 @@ class PacketChannel final : public QueryChannel {
   std::vector<std::unique_ptr<Participant>> participants_;
   std::vector<std::uint16_t> announced_wire_;
   std::uint32_t session_ = 0;
+  std::uint64_t repolls_ = 0;
 };
 
 }  // namespace tcast::group

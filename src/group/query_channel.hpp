@@ -77,6 +77,14 @@ class QueryChannel {
   QueryCount queries_used() const { return queries_; }
   void reset_query_counter() { queries_ = 0; }
 
+  /// Capability bit: true when this channel may *misreport* a query — drop
+  /// a non-empty bin to silence (HACK loss), fail to decode a lone reply,
+  /// or read foreign energy as activity. On a lossy channel an empty result
+  /// proves nothing and the 2+ "activity ⇒ ≥2" inference is unsound; the
+  /// round engine keys its soundness gate and retry policies off this bit,
+  /// and the conformance harness refuses loss-unsound configurations.
+  virtual bool lossy() const { return false; }
+
   /// Oracle hooks for idealised accounting and lower-bound baselines; only
   /// ground-truth-capable channels implement them (the exact tier). Real
   /// channels return nullopt and callers must cope.
@@ -87,6 +95,11 @@ class QueryChannel {
   }
 
  protected:
+  /// For implementations that internally re-issue an exchange (the packet
+  /// tier's backoff re-polls): each physical re-poll occupies a slot and
+  /// must count as a query, or the paper's cost accounting would lie.
+  void count_extra_query() { ++queries_; }
+
   virtual void do_announce(const BinAssignment& a) { (void)a; }
   virtual BinQueryResult do_query_bin(const BinAssignment& a,
                                       std::size_t idx) {

@@ -89,8 +89,11 @@ TEST(CheckedChannelTranscript, AnnouncementsRecordFullBinStructure) {
 
 TEST(CheckedChannel, LossyRunsKeepOneSidedSoundness) {
   // Dedicated lossy sweep: heavy loss, every algorithm; `true` answers must
-  // stay certificates even when silence lies.
+  // stay certificates even when silence lies. The tally aggregates the
+  // wrong answers per algorithm and histograms them by loss rate — the
+  // per-scenario degradation profile of the sweep.
   RngStream scenario_rng(0x10555ULL, 3);
+  WrongAnswerTally tally;
   for (std::size_t i = 0; i < 160; ++i) {
     Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
     sc.loss_prob = 0.35;
@@ -98,8 +101,34 @@ TEST(CheckedChannel, LossyRunsKeepOneSidedSoundness) {
     for (const auto& spec : core::algorithm_registry()) {
       const auto report = check_algorithm(spec, sc);
       EXPECT_TRUE(report.ok()) << report.summary();
+      tally.record(spec.name, sc, report.outcome);
     }
   }
+  // The tally must agree with the one-sided invariant: loss produces false
+  // "no" answers (they are the price of silence lying) but never a false
+  // "yes" — and at 35% loss the sweep does visibly degrade.
+  EXPECT_EQ(tally.false_yes(), 0u) << tally.report();
+  EXPECT_GT(tally.false_no(), 0u) << tally.report();
+  RecordProperty("wrong_answer_report", tally.report());
+}
+
+TEST(WrongAnswerTally, ExactSweepHasCleanProfile) {
+  // On the exact tier the same tally must stay empty in both columns.
+  RngStream scenario_rng(0x7157ULL, 5);
+  WrongAnswerTally tally;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    for (const auto& spec : core::algorithm_registry()) {
+      const auto report = check_algorithm(spec, sc);
+      EXPECT_TRUE(report.ok()) << report.summary();
+      tally.record(spec.name, sc, report.outcome);
+    }
+  }
+  EXPECT_EQ(tally.false_yes(), 0u) << tally.report();
+  EXPECT_EQ(tally.false_no(), 0u) << tally.report();
+  EXPECT_EQ(tally.runs(), 40 * core::algorithm_registry().size());
+  // The report renders the per-algorithm table either way.
+  EXPECT_NE(tally.report().find("wrong answers over"), std::string::npos);
 }
 
 }  // namespace

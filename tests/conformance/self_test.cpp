@@ -160,5 +160,51 @@ TEST(ConformanceSelfTest, CatchesLyingChannels) {
             Violation::Category::kTruth);
 }
 
+// A channel that declares lossy(); configuring the ≥2-activity inference
+// on it is itself a conformance violation — the engine's soundness gate
+// should have cleared the bit before the run ever started.
+class DeclaredLossyChannel final : public group::QueryChannel {
+ public:
+  explicit DeclaredLossyChannel(group::ExactChannel& truth)
+      : QueryChannel(truth.model()), truth_(&truth) {}
+
+  bool lossy() const override { return true; }
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override {
+    return truth_->oracle_positive_count(nodes);
+  }
+
+ protected:
+  group::BinQueryResult do_query_set(std::span<const NodeId> nodes) override {
+    return truth_->query_set(nodes);
+  }
+
+ private:
+  group::ExactChannel* truth_;
+};
+
+TEST(ConformanceSelfTest, CatchesCountsTwoClaimedOnLossyChannels) {
+  RngStream rng(13, 0);
+  group::ExactChannel::Config ecfg;
+  ecfg.model = group::CollisionModel::kTwoPlus;
+  auto exact =
+      group::ExactChannel::with_random_positives(10, 6, rng, ecfg);
+  DeclaredLossyChannel lossy(exact);
+
+  CheckedChannel::Config ccfg;
+  ccfg.exact_semantics = false;
+  ccfg.two_plus_activity_counts_two = true;  // unsound on a lossy channel
+  CheckedChannel checked(lossy, exact.all_nodes(), ccfg);
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.violations().front().category,
+            Violation::Category::kTruth);
+
+  // Mirroring the engine's gate (counts_two cleared) is clean.
+  ccfg.two_plus_activity_counts_two = false;
+  CheckedChannel gated(lossy, exact.all_nodes(), ccfg);
+  EXPECT_TRUE(gated.ok());
+}
+
 }  // namespace
 }  // namespace tcast::conformance

@@ -1,0 +1,130 @@
+// The verified degradation envelopes (the acceptance sweep of the
+// robustness work): under deterministic Gilbert–Elliott bursty loss at
+// ≈5% marginal, the unguarded engine demonstrably gives wrong answers,
+// while the retry-guarded engine restores one-sided correctness — zero
+// false "yes" — and keeps the false-"no" rate under the documented
+// analytic bound min(1, n · marginal · burst^r).
+#include <gtest/gtest.h>
+
+#include "conformance/envelope.hpp"
+
+namespace tcast::conformance {
+namespace {
+
+// The canonical sweep point: n = 24, x = t = 8 (every lost positive bin
+// matters), bursty loss with marginal ≈ 0.052.
+EnvelopeConfig sweep_point() {
+  EnvelopeConfig cfg;
+  cfg.n = 24;
+  cfg.x = 8;
+  cfg.t = 8;
+  cfg.plan = *faults::FaultPlan::parse("ge=0.02:0.25:0:0.7");
+  cfg.trials = 200;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(DegradationEnvelope, GilbertElliottPointSitsNearFivePercent) {
+  const auto plan = sweep_point().plan;
+  EXPECT_NEAR(plan.marginal_loss(), 0.05, 0.005);
+}
+
+TEST(DegradationEnvelope, UnguardedEngineGivesWrongAnswersUnderLoss) {
+  auto cfg = sweep_point();
+  ASSERT_EQ(cfg.engine.retry.kind, core::RetryPolicy::Kind::kNone);
+  const auto pt = measure_envelope(cfg);
+  // Loss silences positive-holding bins: with x = t every such disposal is
+  // a wrong answer, and at ~5% bursty loss they are frequent.
+  EXPECT_GT(pt.false_no, 0u) << pt.to_string();
+  // …but even unguarded, loss cannot manufacture positives.
+  EXPECT_EQ(pt.false_yes, 0u) << pt.to_string();
+  EXPECT_GT(pt.faults_injected, 0u);
+  // Unguarded: no retries were spent, none detected.
+  EXPECT_EQ(pt.mean_retries, 0.0);
+  EXPECT_EQ(pt.faults_seen, 0u);
+}
+
+TEST(DegradationEnvelope, GuardedEngineStaysInsideTheAnalyticBound) {
+  auto unguarded_cfg = sweep_point();
+  const auto unguarded = measure_envelope(unguarded_cfg);
+
+  auto guarded_cfg = sweep_point();
+  guarded_cfg.engine.retry = core::RetryPolicy::fixed(3);
+  const auto guarded = measure_envelope(guarded_cfg);
+
+  // One-sided correctness is restored exactly…
+  EXPECT_EQ(guarded.false_yes, 0u) << guarded.to_string();
+  // …and the false-"no" rate obeys the documented envelope. The bound must
+  // be non-vacuous for the assertion to mean anything.
+  const double bound = false_no_envelope(guarded_cfg.n, guarded_cfg.plan, 3);
+  ASSERT_LT(bound, 1.0);
+  EXPECT_LE(guarded.false_no_rate(), bound)
+      << guarded.to_string() << " bound=" << bound;
+  // The guard visibly beats the unguarded engine on this sweep point.
+  EXPECT_LT(guarded.false_no, unguarded.false_no)
+      << "guarded: " << guarded.to_string()
+      << " unguarded: " << unguarded.to_string();
+  // Robustness costs queries: the retries are real and accounted.
+  EXPECT_GT(guarded.mean_retries, 0.0);
+  EXPECT_GT(guarded.mean_queries, unguarded.mean_queries);
+  EXPECT_GT(guarded.faults_seen, 0u);
+}
+
+TEST(DegradationEnvelope, AdaptivePolicyIsAlsoOneSidedAndBounded) {
+  auto cfg = sweep_point();
+  cfg.engine.retry = core::RetryPolicy::adaptive(1e-3);
+  const auto pt = measure_envelope(cfg);
+  EXPECT_EQ(pt.false_yes, 0u) << pt.to_string();
+  // The adaptive budget never drops below one extra attempt, so the r = 1
+  // envelope is a valid (loose) ceiling for it.
+  EXPECT_LE(pt.false_no_rate(), false_no_envelope(cfg.n, cfg.plan, 1))
+      << pt.to_string();
+}
+
+TEST(DegradationEnvelope, BelowThresholdInstancesNeverAnswerYes) {
+  // x < t: any "yes" would be manufactured. Sweep the 1+ point and a 2+
+  // point whose downgrade faults would trip an unguarded counts-two
+  // inference — the soundness gate must hold false_yes at zero in all.
+  auto one_plus = sweep_point();
+  one_plus.x = 4;
+  for (const auto retry :
+       {core::RetryPolicy::none(), core::RetryPolicy::fixed(3)}) {
+    auto cfg = one_plus;
+    cfg.engine.retry = retry;
+    const auto pt = measure_envelope(cfg);
+    EXPECT_EQ(pt.false_yes, 0u) << pt.to_string();
+  }
+
+  auto two_plus = sweep_point();
+  two_plus.x = 4;
+  two_plus.model = group::CollisionModel::kTwoPlus;
+  two_plus.plan = *faults::FaultPlan::parse("ge=0.02:0.25:0:0.7,downgrade=0.3");
+  const auto pt = measure_envelope(two_plus);
+  EXPECT_EQ(pt.false_yes, 0u) << pt.to_string();
+}
+
+TEST(DegradationEnvelope, SweepIsDeterministic) {
+  auto cfg = sweep_point();
+  cfg.engine.retry = core::RetryPolicy::fixed(2);
+  const auto a = measure_envelope(cfg);
+  const auto b = measure_envelope(cfg);
+  EXPECT_EQ(a.false_yes, b.false_yes);
+  EXPECT_EQ(a.false_no, b.false_no);
+  EXPECT_EQ(a.mean_queries, b.mean_queries);
+  EXPECT_EQ(a.mean_retries, b.mean_retries);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_seen, b.faults_seen);
+}
+
+TEST(DegradationEnvelope, FalseNoEnvelopeFormula) {
+  const auto iid = *faults::FaultPlan::parse("iid=0.1");
+  // min(1, n · p · p^r): 24 · 0.1 · 0.01 = 0.024.
+  EXPECT_NEAR(false_no_envelope(24, iid, 2), 0.024, 1e-12);
+  // The cap engages for hopeless configurations.
+  EXPECT_DOUBLE_EQ(false_no_envelope(1000, iid, 0), 1.0);
+  // A clean plan has a zero envelope.
+  EXPECT_DOUBLE_EQ(false_no_envelope(24, faults::FaultPlan{}, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace tcast::conformance

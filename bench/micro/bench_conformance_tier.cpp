@@ -1,0 +1,40 @@
+// Conformance-tier benchmark: the end-to-end sweep — randomized scenarios
+// through the CheckedChannel with every online invariant armed. This is the
+// outermost loop of `ctest -L conformance` and of CI, so its throughput
+// bounds how much scenario coverage a fixed CI budget buys.
+#include "bench/micro/micro_benchmarks.hpp"
+
+#include "common/rng.hpp"
+#include "conformance/harness.hpp"
+#include "conformance/scenario.hpp"
+#include "core/registry.hpp"
+
+namespace tcast::bench {
+
+void register_conformance_benches(perf::BenchRegistry& registry) {
+  registry.add(perf::Benchmark{
+      "conformance/check_algorithm_sweep",
+      "run",
+      {},
+      [](bool quick) -> std::uint64_t {
+        const std::size_t scenarios = quick ? 20 : 200;
+        RngStream rng(2026);
+        std::uint64_t runs = 0;
+        const auto& registry_algorithms = core::algorithm_registry();
+        for (std::size_t s = 0; s < scenarios; ++s) {
+          const auto scenario =
+              conformance::random_scenario(rng, /*allow_lossy=*/false);
+          for (const auto& spec : registry_algorithms) {
+            if (spec.needs_oracle) continue;
+            const auto report =
+                conformance::check_algorithm(spec, scenario);
+            TCAST_CHECK_MSG(report.ok(),
+                            "conformance violation inside the benchmark");
+            ++runs;
+          }
+        }
+        return runs;
+      }});
+}
+
+}  // namespace tcast::bench

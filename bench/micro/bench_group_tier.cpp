@@ -1,0 +1,91 @@
+// Group-tier microbenchmarks: PacketChannel query rounds — a full backcast
+// or pollcast exchange through the PHY/MAC substrate per poll. This is the
+// inner loop of every packet-tier figure (Figs. 4, 7) and of the fault
+// sweeps, so per-poll overhead multiplies by trials × bins × sweep points.
+#include "bench/micro/micro_benchmarks.hpp"
+
+#include "common/rng.hpp"
+#include "group/binning.hpp"
+#include "group/packet_channel.hpp"
+#include "radio/hack_model.hpp"
+
+namespace tcast::bench {
+
+namespace {
+
+std::vector<bool> truth_pattern(std::size_t n, std::size_t x,
+                                std::uint64_t seed) {
+  RngStream rng(seed);
+  std::vector<bool> positive(n, false);
+  for (const NodeId id : rng.sample_subset(n, x))
+    positive[static_cast<std::size_t>(id)] = true;
+  return positive;
+}
+
+group::PacketChannel::Config tier_config(group::CollisionModel model) {
+  group::PacketChannel::Config cfg;
+  cfg.model = model;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  return cfg;
+}
+
+/// Announces one b-bin assignment and polls every bin `sweeps` times.
+std::uint64_t poll_rounds(group::CollisionModel model, bool quick) {
+  const std::size_t n = 32;
+  const std::size_t bins = 8;
+  const std::size_t sweeps = quick ? 4 : 32;
+  group::PacketChannel ch(truth_pattern(n, n / 4, 9),
+                          tier_config(model));
+  RngStream binning_rng(11);
+  const auto nodes = ch.all_nodes();
+  const auto assignment =
+      group::BinAssignment::random_equal(nodes, bins, binning_rng);
+  ch.announce(assignment);
+  std::uint64_t polls = 0;
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      (void)ch.query_bin(assignment, b);
+      ++polls;
+    }
+  }
+  return polls;
+}
+
+}  // namespace
+
+void register_group_benches(perf::BenchRegistry& registry) {
+  registry.add(perf::Benchmark{
+      "group/packet_channel/backcast_poll",
+      "poll",
+      {{"n", 32}, {"bins", 8}},
+      [](bool quick) -> std::uint64_t {
+        return poll_rounds(group::CollisionModel::kOnePlus, quick);
+      }});
+
+  registry.add(perf::Benchmark{
+      "group/packet_channel/pollcast_poll",
+      "poll",
+      {{"n", 32}, {"bins", 8}},
+      [](bool quick) -> std::uint64_t {
+        return poll_rounds(group::CollisionModel::kTwoPlus, quick);
+      }});
+
+  registry.add(perf::Benchmark{
+      "group/packet_channel/world_setup",
+      "world",
+      {{"n", 32}},
+      [](bool quick) -> std::uint64_t {
+        // Per-trial cost of standing up the simulated radio world (one per
+        // Monte-Carlo trial at the packet tier) and resolving one query.
+        const std::size_t worlds = quick ? 20 : 200;
+        const auto truth = truth_pattern(32, 8, 13);
+        for (std::size_t w = 0; w < worlds; ++w) {
+          group::PacketChannel ch(
+              truth, tier_config(group::CollisionModel::kOnePlus));
+          (void)ch.query_set(ch.all_nodes());
+        }
+        return worlds;
+      }});
+}
+
+}  // namespace tcast::bench

@@ -1,0 +1,91 @@
+// Sim-tier microbenchmarks: the discrete-event kernel's pending-event set.
+// The packet tier builds one EventQueue per Monte-Carlo trial and pushes
+// every frame, timer and CCA sample through it, so schedule/pop throughput
+// is a first-order term in packet-tier sweep time.
+#include "bench/micro/micro_benchmarks.hpp"
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace tcast::bench {
+
+namespace {
+
+/// Shared no-op callback: keeps the benchmark about heap + map traffic, not
+/// closure construction.
+void noop() {}
+
+}  // namespace
+
+void register_sim_benches(perf::BenchRegistry& registry) {
+  registry.add(perf::Benchmark{
+      "sim/event_queue/schedule_pop",
+      "event",
+      {{"queue_depth", 512}},
+      [](bool quick) -> std::uint64_t {
+        const std::size_t rounds = quick ? 50 : 500;
+        const std::size_t depth = 512;
+        RngStream rng(42);
+        std::uint64_t events = 0;
+        for (std::size_t r = 0; r < rounds; ++r) {
+          sim::EventQueue q;
+          for (std::size_t i = 0; i < depth; ++i)
+            q.schedule(static_cast<SimTime>(rng.uniform_below(1'000'000)),
+                       noop);
+          while (!q.empty()) {
+            q.pop();
+            ++events;
+          }
+        }
+        return events;
+      }});
+
+  registry.add(perf::Benchmark{
+      "sim/event_queue/schedule_cancel_pop",
+      "event",
+      {{"cancel_fraction", 0.5}},
+      [](bool quick) -> std::uint64_t {
+        // The radio/MAC pattern: timers armed then mostly cancelled before
+        // firing (retransmit guards, CCA windows).
+        const std::size_t rounds = quick ? 50 : 500;
+        const std::size_t depth = 512;
+        RngStream rng(43);
+        std::uint64_t events = 0;
+        for (std::size_t r = 0; r < rounds; ++r) {
+          sim::EventQueue q;
+          std::vector<sim::EventId> ids;
+          ids.reserve(depth);
+          for (std::size_t i = 0; i < depth; ++i)
+            ids.push_back(q.schedule(
+                static_cast<SimTime>(rng.uniform_below(1'000'000)), noop));
+          for (std::size_t i = 0; i < depth; i += 2) q.cancel(ids[i]);
+          while (!q.empty()) {
+            q.pop();
+            ++events;
+          }
+          events += depth / 2;  // cancelled ones count as processed work
+        }
+        return events;
+      }});
+
+  registry.add(perf::Benchmark{
+      "sim/simulator/timer_cascade",
+      "event",
+      {},
+      [](bool quick) -> std::uint64_t {
+        // Self-rescheduling event chain: the steady-state shape of an
+        // interference source or a periodic sampler.
+        const std::uint64_t chain = quick ? 20'000 : 200'000;
+        sim::Simulator sim(7);
+        std::uint64_t fired = 0;
+        std::function<void()> tick = [&] {
+          if (++fired < chain) sim.schedule_after(10, tick);
+        };
+        sim.schedule_after(10, tick);
+        sim.run();
+        return fired;
+      }});
+}
+
+}  // namespace tcast::bench

@@ -1,53 +1,27 @@
 #include "common/monte_carlo.hpp"
 
-#include "common/check.hpp"
-
 namespace tcast {
+
+// The std::function shims forward into the templated fast path; the only
+// difference is the type-erased call per trial. Kept out-of-line so existing
+// callers that pass std::function lvalues keep linking against a stable API.
 
 RunningStats run_trials(const MonteCarloConfig& cfg,
                         const std::function<double(RngStream&)>& trial) {
-  auto multi = run_multi_trials(
-      cfg, 1, [&trial](RngStream& rng, std::vector<double>& out) {
-        out[0] = trial(rng);
-      });
-  return multi[0];
+  return run_trials<const std::function<double(RngStream&)>&>(cfg, trial);
 }
 
 Proportion run_bool_trials(const MonteCarloConfig& cfg,
                            const std::function<bool(RngStream&)>& trial) {
-  const RunningStats s = run_trials(
-      cfg, [&trial](RngStream& rng) { return trial(rng) ? 1.0 : 0.0; });
-  Proportion p;
-  // Rebuild the proportion from the mean; counts are exact because the
-  // metric is {0,1}-valued.
-  const auto successes =
-      static_cast<std::size_t>(s.sum() + 0.5);
-  for (std::size_t i = 0; i < s.count(); ++i) p.add(i < successes);
-  return p;
+  return run_bool_trials<const std::function<bool(RngStream&)>&>(cfg, trial);
 }
 
 std::vector<RunningStats> run_multi_trials(
     const MonteCarloConfig& cfg, std::size_t metrics,
     const std::function<void(RngStream&, std::vector<double>& out)>& trial) {
-  TCAST_CHECK(metrics > 0);
-  // Collect per-trial values first, then reduce in trial order, so the
-  // result is bit-identical for any worker count.
-  std::vector<double> values(cfg.trials * metrics, 0.0);
-  parallel_for(
-      cfg.trials,
-      [&](std::size_t i) {
-        RngStream rng(cfg.seed, trial_stream_id(cfg.experiment_id, i));
-        std::vector<double> out(metrics, 0.0);
-        trial(rng, out);
-        for (std::size_t m = 0; m < metrics; ++m)
-          values[i * metrics + m] = out[m];
-      },
-      cfg.pool);
-  std::vector<RunningStats> merged(metrics);
-  for (std::size_t i = 0; i < cfg.trials; ++i)
-    for (std::size_t m = 0; m < metrics; ++m)
-      merged[m].add(values[i * metrics + m]);
-  return merged;
+  return run_multi_trials<
+      const std::function<void(RngStream&, std::vector<double>&)>&>(
+      cfg, metrics, trial);
 }
 
 }  // namespace tcast

@@ -6,6 +6,16 @@
 
 namespace tcast {
 
+namespace {
+/// Set for the lifetime of a worker thread; lets wait_idle()/run_batch()
+/// detect (and loudly reject) nested waits that would deadlock the pool.
+thread_local const ThreadPool* t_worker_of = nullptr;
+/// Set while an external thread is inside run_batch(): it helps drain the
+/// batch, so a batch body can execute on it and must not re-enter the pool
+/// (batch_mu_ is held — re-entry would self-deadlock).
+thread_local const ThreadPool* t_batch_caller_of = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
   threads_.reserve(workers);
@@ -22,37 +32,114 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_of == this; }
+
+bool ThreadPool::in_batch_on_this_thread() const {
+  return t_worker_of == this || t_batch_caller_of == this;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lk(mu_);
     TCAST_CHECK_MSG(!stop_, "submit on a stopped pool");
-    tasks_.push(std::move(task));
+    tasks_.push_back(std::move(task));
     ++in_flight_;
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
+  TCAST_CHECK_MSG(!on_worker_thread(),
+                  "wait_idle from a worker of this pool: a task that submits "
+                  "work and then blocks on it deadlocks the pool (no "
+                  "nested-wait support)");
   std::unique_lock lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::drain_batch(BatchFn fn, void* ctx, std::size_t end) {
+  std::size_t done = 0;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stop_ and drained
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
-    {
-      std::lock_guard lk(mu_);
+    const std::size_t i = batch_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) break;
+    fn(ctx, i);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::run_batch(std::size_t count, BatchFn fn, void* ctx) {
+  if (count == 0) return;
+  TCAST_CHECK_MSG(!on_worker_thread(),
+                  "run_batch from a worker of this pool would deadlock (no "
+                  "nested-wait support); parallel_for runs inline instead");
+  TCAST_CHECK_MSG(t_batch_caller_of != this,
+                  "run_batch re-entered from a batch body on the calling "
+                  "thread would self-deadlock; parallel_for runs inline "
+                  "instead");
+  // One batch at a time: external callers serialize here, so the batch_*
+  // fields always describe the single active batch.
+  std::lock_guard serialize(batch_mu_);
+  t_batch_caller_of = this;
+  {
+    std::lock_guard lk(mu_);
+    TCAST_CHECK_MSG(!stop_, "run_batch on a stopped pool");
+    batch_fn_ = fn;
+    batch_ctx_ = ctx;
+    batch_next_.store(0, std::memory_order_relaxed);
+    batch_end_ = count;
+    batch_done_ = 0;
+  }
+  cv_task_.notify_all();
+  const std::size_t done = drain_batch(fn, ctx, count);  // caller helps
+  std::unique_lock lk(mu_);
+  batch_done_ += done;
+  // Wait for completion AND for every participating worker to leave
+  // drain_batch, so no stale snapshot can touch the next batch's cursor.
+  cv_idle_.wait(lk, [this] {
+    return batch_done_ == batch_end_ && batch_workers_ == 0;
+  });
+  batch_fn_ = nullptr;
+  batch_ctx_ = nullptr;
+  batch_end_ = 0;
+  t_batch_caller_of = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  t_worker_of = this;
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_task_.wait(lk, [this] {
+      return stop_ || task_head_ < tasks_.size() || batch_pending_locked();
+    });
+    if (task_head_ < tasks_.size()) {
+      std::function<void()> task = std::move(tasks_[task_head_++]);
+      if (task_head_ == tasks_.size()) {
+        tasks_.clear();  // keeps capacity: the buffer is reused
+        task_head_ = 0;
+      }
+      lk.unlock();
+      task();
+      lk.lock();
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
+      continue;
     }
+    if (batch_pending_locked()) {
+      const BatchFn fn = batch_fn_;
+      void* ctx = batch_ctx_;
+      const std::size_t end = batch_end_;
+      ++batch_workers_;
+      lk.unlock();
+      const std::size_t done = drain_batch(fn, ctx, end);
+      lk.lock();
+      batch_done_ += done;
+      --batch_workers_;
+      if (batch_done_ == batch_end_ && batch_workers_ == 0)
+        cv_idle_.notify_all();
+      continue;
+    }
+    if (stop_) return;  // stopped and fully drained
   }
 }
 
@@ -63,24 +150,7 @@ ThreadPool& ThreadPool::global() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   ThreadPool* pool) {
-  if (n == 0) return;
-  if (pool == nullptr) pool = &ThreadPool::global();
-  const std::size_t workers = pool->worker_count();
-  if (workers <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-    return;
-  }
-  const std::size_t chunks = std::min(n, workers * 4);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    pool->submit([&body, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
-  }
-  pool->wait_idle();
+  parallel_for<const std::function<void(std::size_t)>&>(n, body, pool);
 }
 
 }  // namespace tcast

@@ -53,14 +53,20 @@ std::size_t BinAssignment::total_assigned() const {
 }
 
 std::vector<std::uint16_t> BinAssignment::to_wire(std::size_t universe) const {
-  std::vector<std::uint16_t> wire(universe, rcd::kNotInRound);
+  std::vector<std::uint16_t> wire;
+  to_wire_into(universe, wire);
+  return wire;
+}
+
+void BinAssignment::to_wire_into(std::size_t universe,
+                                 std::vector<std::uint16_t>& out) const {
+  out.assign(universe, rcd::kNotInRound);
   for (std::size_t b = 0; b < bins_.size(); ++b) {
     for (const NodeId id : bins_[b]) {
       TCAST_CHECK(static_cast<std::size_t>(id) < universe);
-      wire[id] = static_cast<std::uint16_t>(b);
+      out[id] = static_cast<std::uint16_t>(b);
     }
   }
-  return wire;
 }
 
 }  // namespace tcast::group

@@ -39,6 +39,11 @@ class BinAssignment {
   /// any bin get rcd::kNotInRound (0xFFFF).
   std::vector<std::uint16_t> to_wire(std::size_t universe) const;
 
+  /// Allocation-free variant: serialises into `out` (resized to `universe`,
+  /// capacity reused). The packet tier calls this once per poll, so the
+  /// scratch buffer must not churn the allocator.
+  void to_wire_into(std::size_t universe, std::vector<std::uint16_t>& out) const;
+
  private:
   explicit BinAssignment(std::vector<std::vector<NodeId>> bins)
       : bins_(std::move(bins)) {}

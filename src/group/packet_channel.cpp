@@ -138,36 +138,42 @@ void PacketChannel::ensure_announced(
 }
 
 void PacketChannel::do_announce(const BinAssignment& a) {
-  ensure_announced(a.to_wire(positive_.size()));
+  a.to_wire_into(positive_.size(), scratch_wire_);
+  ensure_announced(scratch_wire_);
 }
 
 BinQueryResult PacketChannel::poll_once(std::uint16_t bin) {
-  BinQueryResult result;
-  bool done = false;
-  // Captured by reference in the poll callback, which only fires inside
-  // run_until_flag below — so it must outlive the if/else block.
-  const bool two_plus = model() == CollisionModel::kTwoPlus;
+  // One stack frame shared with the poll callback (which only fires inside
+  // run_until_flag below, so the frame outlives it). Capturing a single
+  // pointer keeps the closure inside std::function's small-buffer storage —
+  // no heap allocation per poll.
+  struct PollFrame {
+    BinQueryResult result;
+    bool done = false;
+    bool two_plus = false;
+  } frame;
+  frame.two_plus = model() == CollisionModel::kTwoPlus;
   if (backcast_) {
-    backcast_->poll_bin(bin, [&](rcd::BackcastInitiator::PollResult r) {
-      result = r.nonempty ? BinQueryResult::activity()
-                          : BinQueryResult::empty();
-      done = true;
+    backcast_->poll_bin(bin, [f = &frame](rcd::BackcastInitiator::PollResult r) {
+      f->result = r.nonempty ? BinQueryResult::activity()
+                             : BinQueryResult::empty();
+      f->done = true;
     });
   } else {
-    pollcast_->poll_bin(bin, [&](rcd::PollcastInitiator::PollResult r) {
-      if (two_plus && r.captured) {
-        result = BinQueryResult::captured_node(*r.captured);
+    pollcast_->poll_bin(bin, [f = &frame](rcd::PollcastInitiator::PollResult r) {
+      if (f->two_plus && r.captured) {
+        f->result = BinQueryResult::captured_node(*r.captured);
       } else if (r.activity) {
-        result = BinQueryResult::activity();
+        f->result = BinQueryResult::activity();
       } else {
-        result = BinQueryResult::empty();
+        f->result = BinQueryResult::empty();
       }
-      done = true;
+      f->done = true;
     });
   }
-  sim_->run_until_flag([&done] { return done; });
-  TCAST_CHECK_MSG(done, "poll did not complete");
-  return result;
+  sim_->run_until_flag([f = &frame] { return f->done; });
+  TCAST_CHECK_MSG(frame.done, "poll did not complete");
+  return frame.result;
 }
 
 BinQueryResult PacketChannel::poll(std::uint16_t bin) {
@@ -200,15 +206,17 @@ bool PacketChannel::lossy() const {
 
 BinQueryResult PacketChannel::do_query_bin(const BinAssignment& a,
                                            std::size_t idx) {
-  ensure_announced(a.to_wire(positive_.size()));
+  a.to_wire_into(positive_.size(), scratch_wire_);
+  ensure_announced(scratch_wire_);
   return poll(static_cast<std::uint16_t>(idx));
 }
 
 BinQueryResult PacketChannel::do_query_set(std::span<const NodeId> nodes) {
   // Ad-hoc set: announce a one-bin assignment containing exactly `nodes`.
-  std::vector<std::uint16_t> wire(positive_.size(), rcd::kNotInRound);
-  for (const NodeId id : nodes) wire.at(static_cast<std::size_t>(id)) = 0;
-  ensure_announced(wire);
+  scratch_wire_.assign(positive_.size(), rcd::kNotInRound);
+  for (const NodeId id : nodes)
+    scratch_wire_.at(static_cast<std::size_t>(id)) = 0;
+  ensure_announced(scratch_wire_);
   return poll(0);
 }
 

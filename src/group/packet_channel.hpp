@@ -112,6 +112,9 @@ class PacketChannel final : public QueryChannel {
   std::unique_ptr<radio::InterferenceSource> interference_;
   std::vector<std::unique_ptr<Participant>> participants_;
   std::vector<std::uint16_t> announced_wire_;
+  /// Per-poll wire scratch: do_query_bin/do_query_set serialise the bin
+  /// structure here instead of allocating a fresh vector per query.
+  std::vector<std::uint16_t> scratch_wire_;
   std::uint32_t session_ = 0;
   std::uint64_t repolls_ = 0;
 };

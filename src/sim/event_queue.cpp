@@ -1,12 +1,63 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace tcast::sim {
 
+namespace {
+// One packet-tier poll schedules a few dozen events; 64 slots absorb the
+// common case with a single up-front allocation per queue.
+constexpr std::size_t kReserve = 64;
+}  // namespace
+
+EventQueue::EventQueue() {
+  heap_.reserve(kReserve);
+  callbacks_.reserve(kReserve);
+}
+
+void EventQueue::heap_push(const Entry& e) const {
+  // 4-ary sift-up with a hole instead of repeated swaps.
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::heap_pop_top() const {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Sift the former tail down from the root, again hole-style.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t fence = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < fence; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
 EventId EventQueue::schedule(SimTime t, EventFn fn) {
+  return schedule(t, EventPriority{0}, std::move(fn));
+}
+
+EventId EventQueue::schedule(SimTime t, EventPriority priority, EventFn fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
+  heap_push(Entry{t, id, priority});
   callbacks_.emplace(id, std::move(fn));
   ++live_;
   return id;
@@ -21,23 +72,28 @@ bool EventQueue::cancel(EventId id) {
 
 void EventQueue::skip_dead() const {
   while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end())
-    heap_.pop();
+         callbacks_.find(heap_.front().id) == callbacks_.end())
+    heap_pop_top();
 }
 
 SimTime EventQueue::next_time() const {
   TCAST_CHECK(!empty());
   skip_dead();
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   TCAST_CHECK(!empty());
-  skip_dead();
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  TCAST_DCHECK(it != callbacks_.end());
+  // Tombstone-skip and callback extraction share one hash lookup per entry:
+  // the find() that proves the head is alive is reused to take its closure
+  // (the map traffic, not the heap, dominates pop cost).
+  auto it = callbacks_.find(heap_.front().id);
+  while (it == callbacks_.end()) {
+    heap_pop_top();
+    it = callbacks_.find(heap_.front().id);
+  }
+  const Entry top = heap_.front();
+  heap_pop_top();
   Fired fired{top.time, top.id, std::move(it->second)};
   callbacks_.erase(it);
   --live_;

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace tcast {
@@ -58,6 +60,95 @@ TEST(ParallelFor, SumMatchesSerial) {
       10000, [&sum](std::size_t i) { sum += static_cast<long long>(i); },
       &pool);
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ThreadPool, RunBatchVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(777);
+  struct Ctx {
+    std::vector<std::atomic<int>>* hits;
+  } ctx{&hits};
+  pool.run_batch(
+      hits.size(),
+      [](void* raw, std::size_t i) { ++(*static_cast<Ctx*>(raw)->hits)[i]; },
+      &ctx);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BackToBackBatchesDoNotLeakIndices) {
+  // Regression guard for the stale-snapshot race: a worker still holding the
+  // previous batch's end must never consume the next batch's cursor.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> seen{0};
+    struct Ctx {
+      std::atomic<std::size_t>* seen;
+    } ctx{&seen};
+    const std::size_t n = 1 + static_cast<std::size_t>(round % 17);
+    pool.run_batch(
+        n,
+        [](void* raw, std::size_t) {
+          static_cast<Ctx*>(raw)->seen->fetch_add(1,
+                                                  std::memory_order_relaxed);
+        },
+        &ctx);
+    ASSERT_EQ(seen.load(), n) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(2);
+  ThreadPool b(2);
+  EXPECT_FALSE(a.on_worker_thread());
+  std::atomic<int> checks{0};
+  a.submit([&] {
+    if (a.on_worker_thread() && !b.on_worker_thread()) ++checks;
+  });
+  a.wait_idle();
+  EXPECT_EQ(checks.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        // Re-entrant parallel_for on the same pool must degrade to an inline
+        // loop on this worker, not wait on the pool.
+        parallel_for(
+            5, [&inner_total](std::size_t) { ++inner_total; }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(inner_total.load(), 8 * 5);
+}
+
+// Nested waiting is a programming error and must die loudly (TCAST_CHECK ->
+// abort), not deadlock. Death tests fork, so use the threadsafe style.
+TEST(ThreadPoolDeathTest, WaitIdleFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.submit([&pool] { pool.wait_idle(); });
+        // Give the worker time to hit the check; the abort tears us down.
+        std::this_thread::sleep_for(std::chrono::seconds(5));
+      },
+      "wait_idle from a worker");
+}
+
+TEST(ThreadPoolDeathTest, RunBatchFromWorkerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.submit([&pool] {
+          pool.run_batch(
+              4, [](void*, std::size_t) {}, nullptr);
+        });
+        std::this_thread::sleep_for(std::chrono::seconds(5));
+      },
+      "run_batch from a worker");
 }
 
 }  // namespace

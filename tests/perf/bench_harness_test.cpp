@@ -1,0 +1,212 @@
+// Self-tests for the benchmarking harness: the statistics it reports
+// (min/median/MAD), the tcast-bench-v1 JSON schema round-trip, and the
+// registry runner itself.
+#include "perf/bench_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf/json.hpp"
+
+namespace tcast::perf {
+namespace {
+
+TEST(BenchStats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median_of({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({9.0, 7.0, 1.0, 3.0, 5.0}), 5.0);
+}
+
+TEST(BenchStats, MedianEvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(median_of({1.0, 2.0}), 1.5);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({10.0, 10.0, 10.0, 40.0}), 10.0);
+}
+
+TEST(BenchStats, MedianUnaffectedByOutlier) {
+  EXPECT_DOUBLE_EQ(median_of({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(BenchStats, MadOnKnownSamples) {
+  // median = 3, deviations {2,1,0,1,2} -> MAD 1.
+  EXPECT_DOUBLE_EQ(mad_of({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+  // Constant series has zero spread.
+  EXPECT_DOUBLE_EQ(mad_of({7.0, 7.0, 7.0}), 0.0);
+  // median = 2.5, deviations {1.5,0.5,0.5,1.5} -> MAD 1.
+  EXPECT_DOUBLE_EQ(mad_of({1.0, 2.0, 3.0, 4.0}), 1.0);
+}
+
+TEST(BenchStats, SummarizeComputesAllSixStats) {
+  const std::vector<Sample> samples{
+      {0.010, 0.009}, {0.030, 0.029}, {0.020, 0.019}};
+  const Summary s = summarize(samples);
+  EXPECT_EQ(s.reps, 3u);
+  EXPECT_DOUBLE_EQ(s.wall_min_s, 0.010);
+  EXPECT_DOUBLE_EQ(s.wall_median_s, 0.020);
+  EXPECT_DOUBLE_EQ(s.wall_mad_s, 0.010);
+  EXPECT_DOUBLE_EQ(s.cpu_min_s, 0.009);
+  EXPECT_DOUBLE_EQ(s.cpu_median_s, 0.019);
+  EXPECT_DOUBLE_EQ(s.cpu_mad_s, 0.010);
+}
+
+TEST(BenchJson, ValueRoundTrip) {
+  const JsonValue v(JsonValue::Object{
+      {"name", "x/y"},
+      {"flag", true},
+      {"nothing", nullptr},
+      {"n", 0.1},  // not exactly representable: exercises %.17g
+      {"list", JsonValue::Array{JsonValue(1.0), JsonValue("two")}},
+  });
+  std::string error;
+  const auto parsed = parse_json(v.dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, v);
+  // Compact form round-trips too.
+  const auto compact = parse_json(v.dump(0), &error);
+  ASSERT_TRUE(compact.has_value()) << error;
+  EXPECT_EQ(*compact, v);
+}
+
+TEST(BenchJson, StringEscapes) {
+  const JsonValue v(std::string("a\"b\\c\nd\te"));
+  std::string error;
+  const auto parsed = parse_json(v.dump(0), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, v);
+  // \u escapes from foreign writers decode as UTF-8.
+  const auto esc = parse_json("\"\\u0041\\u00e9\"", &error);
+  ASSERT_TRUE(esc.has_value()) << error;
+  EXPECT_EQ(esc->as_string(), "A\xc3\xa9");
+}
+
+TEST(BenchJson, ParseErrorsAreReported) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\" 1}", "tru", "1 2",
+                          "\"unterminated", "{\"a\":}", "nan"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+BenchResult sample_result(const std::string& name) {
+  BenchResult r;
+  r.name = name;
+  r.unit = "trial";
+  r.params = {{"metrics", 3.0}, {"rng_draws_per_trial", 1.0}};
+  r.items = 200000;
+  r.timing.reps = 11;
+  r.timing.wall_min_s = 0.004;
+  r.timing.wall_median_s = 0.0042;
+  r.timing.wall_mad_s = 0.0001;
+  r.timing.cpu_min_s = 0.03;
+  r.timing.cpu_median_s = 0.031;
+  r.timing.cpu_mad_s = 0.0002;
+  return r;
+}
+
+TEST(BenchJson, BenchResultRoundTrip) {
+  const BenchResult r = sample_result("common/run_trials/fast");
+  const auto back = BenchResult::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, r.name);
+  EXPECT_EQ(back->unit, r.unit);
+  EXPECT_EQ(back->items, r.items);
+  EXPECT_EQ(back->params, r.params);
+  EXPECT_EQ(back->timing.reps, r.timing.reps);
+  EXPECT_DOUBLE_EQ(back->timing.wall_median_s, r.timing.wall_median_s);
+  EXPECT_DOUBLE_EQ(back->timing.cpu_mad_s, r.timing.cpu_mad_s);
+  EXPECT_DOUBLE_EQ(back->items_per_s(), r.items_per_s());
+}
+
+TEST(BenchJson, ReportRoundTripThroughText) {
+  Report rep;
+  rep.git_sha = "0123456789abcdef";
+  rep.quick = true;
+  rep.host = host_info();
+  rep.results.push_back(sample_result("common/run_trials/fast"));
+  rep.results.push_back(sample_result("sim/event_queue/schedule_pop"));
+
+  std::string error;
+  const auto parsed = parse_json(rep.to_json_string(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto back = Report::from_json(*parsed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->schema, "tcast-bench-v1");
+  EXPECT_EQ(back->git_sha, rep.git_sha);
+  EXPECT_TRUE(back->quick);
+  EXPECT_EQ(back->host.compiler, rep.host.compiler);
+  EXPECT_EQ(back->host.build_type, rep.host.build_type);
+  EXPECT_EQ(back->host.hardware_threads, rep.host.hardware_threads);
+  ASSERT_EQ(back->results.size(), 2u);
+  EXPECT_EQ(back->results[0].name, "common/run_trials/fast");
+  EXPECT_EQ(back->results[1].name, "sim/event_queue/schedule_pop");
+}
+
+TEST(BenchJson, ReportRejectsWrongSchema) {
+  Report rep;
+  rep.results.push_back(sample_result("x"));
+  JsonValue v = rep.to_json();
+  v.as_object().insert_or_assign("schema", JsonValue("tcast-bench-v999"));
+  EXPECT_FALSE(Report::from_json(v).has_value());
+}
+
+TEST(BenchRegistry, RunsBodiesAndReportsItems) {
+  BenchRegistry registry;
+  int calls = 0;
+  registry.add(Benchmark{"t/counting",
+                         "op",
+                         {{"k", 2.0}},
+                         [&calls](bool quick) -> std::uint64_t {
+                           ++calls;
+                           return quick ? 10 : 100;
+                         }});
+  RunOptions opts;
+  opts.quick = true;
+  opts.reps = 3;
+  opts.warmup = 1;
+  std::ostringstream progress;
+  const auto results = registry.run(opts, &progress);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(calls, 4);  // 1 warmup + 3 timed
+  EXPECT_EQ(results[0].items, 10u);
+  EXPECT_EQ(results[0].timing.reps, 3u);
+  EXPECT_EQ(results[0].params.at("k"), 2.0);
+  EXPECT_NE(progress.str().find("t/counting"), std::string::npos);
+}
+
+TEST(BenchRegistry, FilterSelectsBySubstring) {
+  BenchRegistry registry;
+  registry.add(Benchmark{"a/x", "op", {}, [](bool) { return 1ULL; }});
+  registry.add(Benchmark{"b/y", "op", {}, [](bool) { return 1ULL; }});
+  RunOptions opts;
+  opts.quick = true;
+  opts.reps = 1;
+  opts.warmup = 0;
+  opts.filter = "b/";
+  const auto results = registry.run(opts, nullptr);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "b/y");
+}
+
+TEST(BenchRegistry, QuickModeShrinksReps) {
+  RunOptions opts;
+  opts.quick = false;
+  const std::size_t full = opts.effective_reps();
+  opts.quick = true;
+  EXPECT_LT(opts.effective_reps(), full);
+  EXPECT_GE(opts.effective_reps(), 3u);  // still enough for a median + MAD
+}
+
+TEST(BenchHarness, ClocksAdvance) {
+  const double w0 = wall_now();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(wall_now(), w0);
+  EXPECT_GT(cpu_now(), 0.0);
+}
+
+}  // namespace
+}  // namespace tcast::perf

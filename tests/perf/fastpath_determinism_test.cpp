@@ -1,0 +1,147 @@
+// The optimization contract of this PR: the templated Monte-Carlo fast paths
+// must be BIT-identical to the pre-existing std::function shims, for every
+// worker count. Any drift here means the optimization changed observable
+// results and must be rejected.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/monte_carlo.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace tcast {
+namespace {
+
+double trial_metric(RngStream& rng) {
+  // Irregular enough that any reordering or stream reuse shows up.
+  const double a = rng.uniform01();
+  const double b = rng.normal(0.0, 2.0);
+  return a + 0.25 * b + (rng.bernoulli(0.3) ? 1.0 : 0.0);
+}
+
+void expect_bitwise_equal(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  // Bit-exact, not approximately equal: the reduction order is part of the
+  // determinism contract.
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+std::vector<std::size_t> worker_counts_under_test() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts{1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+TEST(FastPathDeterminism, RunTrialsTemplateMatchesShimAcrossWorkerCounts) {
+  const std::function<double(RngStream&)> erased = trial_metric;
+  for (const std::size_t workers : worker_counts_under_test()) {
+    ThreadPool pool(workers);
+    MonteCarloConfig cfg;
+    cfg.trials = 501;  // odd, not a multiple of any chunk size
+    cfg.experiment_id = 7;
+    cfg.pool = &pool;
+    const RunningStats fast = run_trials(cfg, trial_metric);
+    const RunningStats shim = run_trials(cfg, erased);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_bitwise_equal(fast, shim);
+  }
+}
+
+TEST(FastPathDeterminism, RunTrialsIdenticalAcrossWorkerCounts) {
+  MonteCarloConfig base;
+  base.trials = 501;
+  base.experiment_id = 11;
+  ThreadPool reference_pool(1);
+  base.pool = &reference_pool;
+  const RunningStats reference = run_trials(base, trial_metric);
+  for (const std::size_t workers : worker_counts_under_test()) {
+    ThreadPool pool(workers);
+    MonteCarloConfig cfg = base;
+    cfg.pool = &pool;
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    expect_bitwise_equal(run_trials(cfg, trial_metric), reference);
+  }
+}
+
+TEST(FastPathDeterminism, RunBoolTrialsTemplateMatchesShim) {
+  const auto trial = [](RngStream& rng) { return rng.bernoulli(0.42); };
+  const std::function<bool(RngStream&)> erased = trial;
+  for (const std::size_t workers : worker_counts_under_test()) {
+    ThreadPool pool(workers);
+    MonteCarloConfig cfg;
+    cfg.trials = 333;
+    cfg.experiment_id = 13;
+    cfg.pool = &pool;
+    const Proportion fast = run_bool_trials(cfg, trial);
+    const Proportion shim = run_bool_trials(cfg, erased);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(fast.trials(), shim.trials());
+    EXPECT_EQ(fast.successes(), shim.successes());
+    EXPECT_EQ(fast.value(), shim.value());
+  }
+}
+
+TEST(FastPathDeterminism, SpanFastPathMatchesVectorCompatPath) {
+  const auto span_trial = [](RngStream& rng, std::span<double> out) {
+    out[0] = rng.uniform01();
+    out[1] = rng.normal(1.0, 0.5);
+    out[2] = out[0] * out[1];
+  };
+  // Same math through the vector-compat overload (needs a vector-only
+  // signature so overload resolution picks the compat path).
+  const std::function<void(RngStream&, std::vector<double>&)> vec_trial =
+      [&span_trial](RngStream& rng, std::vector<double>& out) {
+        span_trial(rng, std::span<double>(out));
+      };
+  for (const std::size_t workers : worker_counts_under_test()) {
+    ThreadPool pool(workers);
+    MonteCarloConfig cfg;
+    cfg.trials = 257;
+    cfg.experiment_id = 17;
+    cfg.pool = &pool;
+    const auto fast = run_multi_trials(cfg, 3, span_trial);
+    const auto compat = run_multi_trials(cfg, 3, vec_trial);
+    ASSERT_EQ(fast.size(), 3u);
+    ASSERT_EQ(compat.size(), 3u);
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    for (std::size_t m = 0; m < 3; ++m)
+      expect_bitwise_equal(fast[m], compat[m]);
+  }
+}
+
+TEST(FastPathDeterminism, NestedParallelForStillDeterministic) {
+  // A trial that itself calls parallel_for must run its inner loop inline
+  // (worker-thread re-entry) and still produce worker-count-independent
+  // results.
+  const auto trial = [](RngStream& rng) {
+    double acc = rng.uniform01();
+    parallel_for(4, [&acc](std::size_t i) {
+      acc += static_cast<double>(i) * 1e-3;
+    });
+    return acc;
+  };
+  ThreadPool one(1);
+  ThreadPool many(4);
+  MonteCarloConfig cfg;
+  cfg.trials = 64;
+  cfg.experiment_id = 19;
+  cfg.pool = &one;
+  const RunningStats serial = run_trials(cfg, trial);
+  cfg.pool = &many;
+  const RunningStats parallel = run_trials(cfg, trial);
+  expect_bitwise_equal(serial, parallel);
+}
+
+}  // namespace
+}  // namespace tcast

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <set>
+#include <tuple>
 #include <vector>
 
 namespace tcast::sim {
@@ -70,6 +74,96 @@ TEST(EventQueue, PopReturnsTimeAndId) {
   const auto fired = q.pop();
   EXPECT_EQ(fired.time, 42);
   EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, LowerPriorityValueFiresFirstAtEqualTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(5, EventPriority{2}, [&] { fired.push_back(2); });
+  q.schedule(5, EventPriority{-1}, [&] { fired.push_back(-1); });
+  q.schedule(5, EventPriority{0}, [&] { fired.push_back(0); });
+  q.schedule(4, EventPriority{9}, [&] { fired.push_back(9); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{9, -1, 0, 2}));  // time beats priority
+}
+
+TEST(EventQueue, EqualTimeAndPriorityFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i)
+    q.schedule(7, EventPriority{3}, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, DefaultScheduleIsPriorityZero) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1, [&] { fired.push_back(0); });  // implicit priority 0
+  q.schedule(1, EventPriority{-5}, [&] { fired.push_back(-5); });
+  q.schedule(1, EventPriority{5}, [&] { fired.push_back(5); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{-5, 0, 5}));
+}
+
+// Cross-check the optimized 4-ary heap against a std::multiset oracle over
+// the full (time, priority, seq) total order, under 10k randomized
+// schedule/pop/cancel interleavings.
+TEST(EventQueue, RandomizedInterleavingsMatchMultisetOracle) {
+  using Key = std::tuple<SimTime, EventPriority, EventId>;
+  EventQueue q;
+  std::set<Key> oracle;  // keys are unique: EventId is a tie-breaker
+  std::vector<EventId> live;
+  std::mt19937_64 rng(0x5eedu);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  std::uniform_int_distribution<SimTime> time_dist(0, 200);
+  std::uniform_int_distribution<EventPriority> prio_dist(-3, 3);
+
+  const auto key_of = [&](EventId id) -> Key {
+    for (const Key& k : oracle)
+      if (std::get<2>(k) == id) return k;
+    ADD_FAILURE() << "id " << id << " missing from oracle";
+    return {};
+  };
+
+  for (int step = 0; step < 10'000; ++step) {
+    const int op = op_dist(rng);
+    if (op < 5 || oracle.empty()) {  // schedule
+      const SimTime t = time_dist(rng);
+      const EventPriority p = prio_dist(rng);
+      const EventId id = q.schedule(t, p, [] {});
+      oracle.insert(Key{t, p, id});
+      live.push_back(id);
+    } else if (op < 7) {  // cancel a random live event
+      std::uniform_int_distribution<std::size_t> pick(0, live.size() - 1);
+      const std::size_t at = pick(rng);
+      const EventId id = live[at];
+      oracle.erase(key_of(id));
+      EXPECT_TRUE(q.cancel(id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {  // pop: must match the oracle's minimum exactly
+      const Key expected = *oracle.begin();
+      ASSERT_FALSE(q.empty());
+      EXPECT_EQ(q.next_time(), std::get<0>(expected));
+      const auto fired = q.pop();
+      EXPECT_EQ(fired.time, std::get<0>(expected));
+      EXPECT_EQ(fired.id, std::get<2>(expected));
+      oracle.erase(oracle.begin());
+      live.erase(std::find(live.begin(), live.end(), fired.id));
+    }
+    ASSERT_EQ(q.size(), oracle.size());
+    ASSERT_EQ(q.empty(), oracle.empty());
+  }
+  // Drain what is left; the full pop order must equal the oracle's order.
+  while (!oracle.empty()) {
+    const Key expected = *oracle.begin();
+    const auto fired = q.pop();
+    ASSERT_EQ(fired.time, std::get<0>(expected));
+    ASSERT_EQ(fired.id, std::get<2>(expected));
+    oracle.erase(oracle.begin());
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, InterleavedCancelAndPop) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a tcast_bench JSON report against a committed baseline.
+
+Gates CI on performance regressions: for every benchmark present in both
+reports, the current median throughput (items_per_s) must not fall more than
+--max-regression below the baseline. Benchmarks present on only one side are
+reported but never fail the gate (new benchmarks appear, old ones retire).
+
+A missing baseline file is a soft pass (exit 0): the first PR that adds a
+benchmark cannot have a baseline for it yet.
+
+Usage:
+  tools/compare_bench.py --baseline BENCH_tcast.json --current BENCH_ci.json \
+      [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != "tcast-bench-v1":
+        raise ValueError(f"{path}: unexpected schema {report.get('schema')!r}")
+    return report
+
+
+def throughput_by_name(report):
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name")
+        ips = bench.get("items_per_s", 0.0)
+        if name and ips > 0.0:
+            out[name] = ips
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline report (BENCH_tcast.json)")
+    parser.add_argument("--current", required=True,
+                        help="report from the build under test")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail if throughput drops by more than this "
+                             "fraction (default 0.25)")
+    args = parser.parse_args()
+
+    if not os.path.exists(args.baseline):
+        print(f"compare_bench: no baseline at {args.baseline}; skipping "
+              "regression gate (first run for these benchmarks)")
+        return 0
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+
+    if baseline.get("quick") != current.get("quick"):
+        print(f"compare_bench: WARNING baseline quick={baseline.get('quick')} "
+              f"vs current quick={current.get('quick')}; workload sizes "
+              "differ, throughput comparison is still scale-free but noisier")
+
+    base = throughput_by_name(baseline)
+    cur = throughput_by_name(current)
+
+    regressions = []
+    width = max((len(n) for n in base), default=0)
+    for name in sorted(base):
+        if name not in cur:
+            print(f"  {name:<{width}}  (missing from current run)")
+            continue
+        ratio = cur[name] / base[name]
+        marker = ""
+        if ratio < 1.0 - args.max_regression:
+            marker = "  <-- REGRESSION"
+            regressions.append((name, ratio))
+        print(f"  {name:<{width}}  {base[name]:12.4g} -> {cur[name]:12.4g} "
+              f"items/s  ({ratio:6.2%}){marker}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"  {name:<{width}}  (new, no baseline)")
+
+    if regressions:
+        print(f"\ncompare_bench: {len(regressions)} benchmark(s) regressed "
+              f"more than {args.max_regression:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2%} of baseline throughput")
+        return 1
+    print(f"\ncompare_bench: OK ({len(base)} baseline benchmark(s), "
+          f"none regressed more than {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

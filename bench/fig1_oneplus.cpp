@@ -19,14 +19,16 @@ int run(int argc, char** argv) {
   constexpr std::size_t kN = 128, kT = 16;
 
   SeriesTable table("x");
+  const auto xs = x_sweep(kN, kT);
   std::uint64_t series_id = 0;
   for (const char* algo : {"2tbins", "expinc"}) {
     ++series_id;
-    for (const std::size_t x : x_sweep(kN, kT)) {
-      table.set(static_cast<double>(x), algo,
-                mean_queries(opts, algo, group::CollisionModel::kOnePlus, kN,
-                             x, kT, point_id(1, series_id, x)));
-    }
+    // One batched sweep per series: the whole x-grid × trials in one call.
+    const auto means = series_means_over_x(
+        opts, algo, group::CollisionModel::kOnePlus, kN, xs, kT, 1,
+        series_id);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      table.set(static_cast<double>(xs[i]), algo, means[i]);
   }
   for (const std::size_t x : x_sweep(kN, kT)) {
     MonteCarloConfig mc{.seed = opts.seed,

@@ -25,14 +25,14 @@ int run(int argc, char** argv) {
       {"expinc", group::CollisionModel::kOnePlus, "expinc-1+"},
       {"expinc", group::CollisionModel::kTwoPlus, "expinc-2+"},
   };
+  const auto xs = x_sweep(kN, kT);
   std::uint64_t series_id = 0;
   for (const auto& s : series) {
     ++series_id;
-    for (const std::size_t x : x_sweep(kN, kT)) {
-      table.set(static_cast<double>(x), s.label,
-                mean_queries(opts, s.algo, s.model, kN, x, kT,
-                             point_id(2, series_id, x)));
-    }
+    const auto means =
+        series_means_over_x(opts, s.algo, s.model, kN, xs, kT, 2, series_id);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      table.set(static_cast<double>(xs[i]), s.label, means[i]);
   }
 
   emit(opts, "Fig 2: 1+ vs 2+ collision model (N=128, t=16)", table);

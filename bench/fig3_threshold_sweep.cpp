@@ -29,11 +29,15 @@ int run(int argc, char** argv) {
   std::uint64_t series_id = 0;
   for (const auto& s : series) {
     ++series_id;
-    for (const std::size_t t : thresholds) {
-      table.set(static_cast<double>(t), s.label,
-                mean_queries(opts, s.algo, s.model, kN, kX, t,
-                             point_id(3, series_id, t)));
-    }
+    // Batched t-sweep: x is pinned, the threshold walks the grid.
+    std::vector<perf::SweepPoint> points;
+    for (const std::size_t t : thresholds)
+      points.push_back({kX, t, point_id(3, series_id, t)});
+    const auto result =
+        run_series(opts, s.algo, s.model, kN, std::move(points));
+    for (std::size_t i = 0; i < std::size(thresholds); ++i)
+      table.set(static_cast<double>(thresholds[i]), s.label,
+                result.queries[i].mean());
   }
 
   emit(opts, "Fig 3: cost vs threshold t (N=128, x=4)", table);

@@ -14,15 +14,16 @@ int run(int argc, char** argv) {
   constexpr std::size_t kN = 128, kT = 16;
 
   SeriesTable table("x");
+  const auto xs = x_sweep(kN, kT);
   const char* algorithms[] = {"abns:t", "abns:2t", "2tbins", "oracle"};
   std::uint64_t series_id = 0;
   for (const char* algo : algorithms) {
     ++series_id;
-    for (const std::size_t x : x_sweep(kN, kT)) {
-      table.set(static_cast<double>(x), algo,
-                mean_queries(opts, algo, group::CollisionModel::kOnePlus, kN,
-                             x, kT, point_id(5, series_id, x)));
-    }
+    const auto means = series_means_over_x(
+        opts, algo, group::CollisionModel::kOnePlus, kN, xs, kT, 5,
+        series_id);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      table.set(static_cast<double>(xs[i]), algo, means[i]);
   }
 
   emit(opts, "Fig 5: ABNS vs 2tBins vs oracle (N=128, t=16)", table);

@@ -17,6 +17,7 @@
 #include "common/series.hpp"
 #include "core/registry.hpp"
 #include "group/exact_channel.hpp"
+#include "perf/sweep_engine.hpp"
 
 namespace tcast::bench {
 
@@ -64,32 +65,57 @@ inline std::vector<std::size_t> x_sweep(std::size_t n, std::size_t t) {
   return xs;
 }
 
+/// Runs one whole figure series — every sweep point × opts.trials — through
+/// the batched sweep engine (src/perf/sweep_engine.hpp) in a single call,
+/// so per-thread channel workspaces are reused across the grid. Results are
+/// bit-identical to the historical per-point run_trials() loop.
+inline perf::QuerySweepResult run_series(const BenchOptions& opts,
+                                         const std::string& algorithm,
+                                         group::CollisionModel model,
+                                         std::size_t n,
+                                         std::vector<perf::SweepPoint> points) {
+  if (core::find_algorithm(algorithm) == nullptr) {
+    std::cerr << "unknown algorithm: " << algorithm << '\n';
+    std::exit(1);
+  }
+  perf::QuerySweepSpec spec;
+  spec.algorithm = algorithm;
+  spec.n = n;
+  spec.points = std::move(points);
+  spec.trials = opts.trials;
+  spec.seed = opts.seed;
+  spec.channel.model = model;
+  // spec.engine: paper accounting defaults
+  return perf::run_query_sweep(spec);
+}
+
+/// The x-axis sweep of one series (fixed t, x varies): the shape of
+/// Figs. 1, 2 and 5. Returns one mean per entry of `xs`.
+inline std::vector<double> series_means_over_x(
+    const BenchOptions& opts, const std::string& algorithm,
+    group::CollisionModel model, std::size_t n,
+    const std::vector<std::size_t>& xs, std::size_t t, std::uint64_t figure,
+    std::uint64_t series) {
+  std::vector<perf::SweepPoint> points;
+  points.reserve(xs.size());
+  for (const std::size_t x : xs)
+    points.push_back({x, t, perf::sweep_point_id(figure, series, x)});
+  const auto result = run_series(opts, algorithm, model, n, std::move(points));
+  std::vector<double> means;
+  means.reserve(result.queries.size());
+  for (const auto& s : result.queries) means.push_back(s.mean());
+  return means;
+}
+
 /// Mean query count of a registry algorithm at one (n, x, t) point on the
-/// exact tier with the paper-simulation accounting.
+/// exact tier with the paper-simulation accounting (a one-point sweep).
 inline double mean_queries(const BenchOptions& opts,
                            const std::string& algorithm,
                            group::CollisionModel model, std::size_t n,
                            std::size_t x, std::size_t t,
                            std::uint64_t experiment_id) {
-  const auto* spec = core::find_algorithm(algorithm);
-  if (spec == nullptr) {
-    std::cerr << "unknown algorithm: " << algorithm << '\n';
-    std::exit(1);
-  }
-  MonteCarloConfig mc;
-  mc.trials = opts.trials;
-  mc.seed = opts.seed;
-  mc.experiment_id = experiment_id;
-  return run_trials(mc, [&spec, model, n, x, t](RngStream& rng) {
-           group::ExactChannel::Config cfg;
-           cfg.model = model;
-           auto channel =
-               group::ExactChannel::with_random_positives(n, x, rng, cfg);
-           const auto nodes = channel.all_nodes();
-           core::EngineOptions eopts;  // paper accounting defaults
-           return static_cast<double>(
-               spec->run(channel, nodes, t, rng, eopts).queries);
-         })
+  return run_series(opts, algorithm, model, n, {{x, t, experiment_id}})
+      .queries.at(0)
       .mean();
 }
 
@@ -97,7 +123,7 @@ inline double mean_queries(const BenchOptions& opts,
 /// streams per (figure, series, x).
 inline std::uint64_t point_id(std::uint64_t figure, std::uint64_t series,
                               std::uint64_t x) {
-  return figure * 1000000 + series * 10000 + x;
+  return perf::sweep_point_id(figure, series, x);
 }
 
 }  // namespace tcast::bench

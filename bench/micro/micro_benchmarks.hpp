@@ -10,6 +10,7 @@ namespace tcast::bench {
 void register_common_benches(perf::BenchRegistry& registry);
 void register_sim_benches(perf::BenchRegistry& registry);
 void register_group_benches(perf::BenchRegistry& registry);
+void register_core_benches(perf::BenchRegistry& registry);
 void register_conformance_benches(perf::BenchRegistry& registry);
 
 }  // namespace tcast::bench

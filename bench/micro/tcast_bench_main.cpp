@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
   bench::register_common_benches(registry);
   bench::register_sim_benches(registry);
   bench::register_group_benches(registry);
+  bench::register_core_benches(registry);
   bench::register_conformance_benches(registry);
 
   if (list_only) {

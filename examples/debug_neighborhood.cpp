@@ -30,7 +30,8 @@ int main() {
 
   // Adaptive enumeration: query bins; empty bins clear their nodes, captured
   // replies pin an identity; activity bins get split next round.
-  std::vector<NodeId> suspects = channel.all_nodes();
+  const auto everyone = channel.all_nodes();
+  std::vector<NodeId> suspects(everyone.begin(), everyone.end());
   std::vector<NodeId> stale;
   std::size_t round = 0;
   while (!suspects.empty()) {

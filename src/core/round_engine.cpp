@@ -66,34 +66,35 @@ std::size_t RoundEngine::clamp_bins(std::size_t b,
   return std::clamp<std::size_t>(b, 1, std::max<std::size_t>(1, candidates));
 }
 
-group::BinAssignment RoundEngine::make_assignment(
-    std::span<const NodeId> candidates, std::size_t bins) {
+void RoundEngine::make_assignment(std::span<const NodeId> candidates,
+                                  std::size_t bins,
+                                  group::BinAssignment& out) {
   switch (opts_.scheme) {
     case BinningScheme::kContiguous:
-      return group::BinAssignment::contiguous(candidates, bins);
+      out.assign_contiguous(candidates, bins);
+      return;
     case BinningScheme::kRandomEqual:
       break;
   }
-  return group::BinAssignment::random_equal(candidates, bins, *rng_);
+  out.assign_random_equal(candidates, bins, *rng_);
 }
 
-std::vector<std::size_t> RoundEngine::query_order(
-    const group::BinAssignment& a) const {
-  std::vector<std::size_t> order(a.bin_count());
+void RoundEngine::query_order(const group::BinAssignment& a,
+                              std::vector<std::size_t>& order) const {
+  order.resize(a.bin_count());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  if (opts_.ordering != BinOrdering::kNonEmptyFirst) return order;
+  if (opts_.ordering != BinOrdering::kNonEmptyFirst) return;
   // Idealised accounting needs ground truth; degrade gracefully without it.
-  std::vector<char> nonempty(a.bin_count(), 0);
+  nonempty_.assign(a.bin_count(), 0);
   for (std::size_t i = 0; i < a.bin_count(); ++i) {
-    const auto count = channel_->oracle_positive_count(a.bin(i));
-    if (!count) return order;  // realistic channel: natural order
-    nonempty[i] = *count > 0 ? 1 : 0;
+    const auto count = channel_->oracle_positive_count(a, i);
+    if (!count) return;  // realistic channel: natural order
+    nonempty_[i] = *count > 0 ? 1 : 0;
   }
   std::stable_sort(order.begin(), order.end(),
-                   [&nonempty](std::size_t lhs, std::size_t rhs) {
-                     return nonempty[lhs] > nonempty[rhs];
+                   [this](std::size_t lhs, std::size_t rhs) {
+                     return nonempty_[lhs] > nonempty_[rhs];
                    });
-  return order;
 }
 
 ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
@@ -111,17 +112,19 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
   if (threshold == 0) return finish(true, participants.size());
   if (participants.size() < threshold) return finish(false, participants.size());
 
-  // Alive set, indexed by node id for O(1) removal.
+  // Alive set as packed words: removal is a bit clear, and disposing a whole
+  // silent bin is a word-level ANDNOT against the assignment's bin image.
   NodeId max_id = 0;
   for (const NodeId id : participants) max_id = std::max(max_id, id);
-  std::vector<char> alive(static_cast<std::size_t>(max_id) + 1, 0);
-  for (const NodeId id : participants)
-    alive[static_cast<std::size_t>(id)] = 1;
+  alive_.reset(static_cast<std::size_t>(max_id) + 1);
+  for (const NodeId id : participants) alive_.insert(id);
+  TCAST_CHECK_MSG(alive_.count() == participants.size(),
+                  "duplicate participant ids");
   std::size_t alive_count = participants.size();
-  std::vector<NodeId> candidates(participants.begin(), participants.end());
+  candidates_.assign(participants.begin(), participants.end());
 
   std::size_t confirmed = 0;
-  std::size_t bins = clamp_bins(policy.initial_bins(candidates, threshold),
+  std::size_t bins = clamp_bins(policy.initial_bins(candidates_, threshold),
                                 alive_count);
 
   // Soundness gate: the "activity ⇒ ≥2" credit assumes a lone reply always
@@ -167,9 +170,10 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
 
   for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
     ++out.rounds;
-    const auto assignment = make_assignment(candidates, bins);
+    make_assignment(candidates_, bins, assignment_);
+    const auto& assignment = assignment_;
     channel_->announce(assignment);
-    const auto order = query_order(assignment);
+    query_order(assignment, order_);
 
     RoundStats stats;
     stats.round_index = round;
@@ -177,7 +181,7 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
     stats.candidates_before = alive_count;
     std::size_t round_lb = 0;  // positives certified by this round's bins
 
-    for (const std::size_t idx : order) {
+    for (const std::size_t idx : order_) {
       auto result = channel_->query_bin(assignment, idx);
       ++stats.bins_queried;
       if (result.kind == group::BinQueryResult::Kind::kEmpty &&
@@ -200,11 +204,14 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
       switch (result.kind) {
         case group::BinQueryResult::Kind::kEmpty:
           ++stats.empty_bins;
-          for (const NodeId id : assignment.bin(idx)) {
-            if (alive[static_cast<std::size_t>(id)]) {
-              alive[static_cast<std::size_t>(id)] = 0;
-              --alive_count;
-            }
+          // Dispose the whole silent bin. The bins partition this round's
+          // candidates and removals only ever touch the queried bin, so the
+          // word ANDNOT and the per-member walk remove the same nodes.
+          if (assignment.has_bin_words()) {
+            alive_count -= alive_.remove_words(assignment.bin_words(idx));
+          } else {
+            for (const NodeId id : assignment.bin(idx))
+              if (alive_.erase(id)) --alive_count;
           }
           break;
         case group::BinQueryResult::Kind::kActivity:
@@ -216,10 +223,7 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
           ++stats.captured;
           const NodeId id = result.captured;
           TCAST_CHECK_MSG(id != kNoNode, "captured result without identity");
-          if (alive[static_cast<std::size_t>(id)]) {
-            alive[static_cast<std::size_t>(id)] = 0;
-            --alive_count;
-          }
+          if (alive_.erase(id)) --alive_count;
           ++confirmed;
           break;
         }
@@ -231,16 +235,16 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
         return finish(false, alive_count);
     }
 
-    // Round completed without a decision: rebuild candidates, consult the
+    // Round completed without a decision: rebuild candidates from the word
+    // image (one countr_zero walk instead of an all-ids scan), consult the
     // policy for the next bin count.
-    candidates.clear();
-    for (std::size_t id = 0; id < alive.size(); ++id)
-      if (alive[id]) candidates.push_back(static_cast<NodeId>(id));
-    TCAST_CHECK(candidates.size() == alive_count);
+    candidates_.clear();
+    alive_.append_members(candidates_);
+    TCAST_CHECK(candidates_.size() == alive_count);
 
     stats.candidates_after = alive_count;
     stats.remaining_threshold = threshold - confirmed;
-    std::size_t next = policy.next_bins(stats, candidates);
+    std::size_t next = policy.next_bins(stats, candidates_);
     // Anti-livelock: a round that eliminated nothing and captured nothing
     // must not repeat with the same (or smaller) bin count — every-bin-
     // non-empty rounds carry zero information at fixed b.

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "group/query_channel.hpp"
 
@@ -149,13 +150,21 @@ class RoundEngine {
 
  private:
   std::size_t clamp_bins(std::size_t b, std::size_t candidates) const;
-  group::BinAssignment make_assignment(std::span<const NodeId> candidates,
-                                       std::size_t bins);
-  std::vector<std::size_t> query_order(const group::BinAssignment& a) const;
+  void make_assignment(std::span<const NodeId> candidates, std::size_t bins,
+                       group::BinAssignment& out);
+  void query_order(const group::BinAssignment& a,
+                   std::vector<std::size_t>& order) const;
 
   group::QueryChannel* channel_;
   RngStream* rng_;
   EngineOptions opts_;
+  /// Per-round workspaces, reused across rounds and runs so the steady-state
+  /// round loop allocates nothing.
+  group::BinAssignment assignment_;
+  NodeSet alive_;
+  std::vector<NodeId> candidates_;
+  std::vector<std::size_t> order_;
+  mutable std::vector<char> nonempty_;
 };
 
 }  // namespace tcast::core

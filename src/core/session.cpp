@@ -5,10 +5,10 @@
 namespace tcast::core {
 
 ThresholdSession::ThresholdSession(group::QueryChannel& channel,
-                                   std::vector<NodeId> participants,
+                                   std::span<const NodeId> participants,
                                    RngStream& rng, EngineOptions opts)
     : channel_(&channel),
-      participants_(std::move(participants)),
+      participants_(participants.begin(), participants.end()),
       rng_(&rng),
       opts_(opts) {}
 

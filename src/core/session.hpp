@@ -9,6 +9,7 @@
 //   auto hint = session.probabilistic(t_l, t_r, repeats); // Sec. VI test
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "core/probabilistic_threshold.hpp"
@@ -21,7 +22,7 @@ class ThresholdSession {
   /// Participants default to every node the channel knows about when the
   /// caller passes an empty span at tcast() time.
   ThresholdSession(group::QueryChannel& channel,
-                   std::vector<NodeId> participants, RngStream& rng,
+                   std::span<const NodeId> participants, RngStream& rng,
                    EngineOptions opts = {});
 
   /// Answers "do at least t participants satisfy the predicate?" using the

@@ -2,26 +2,44 @@
 
 #include <algorithm>
 
-#include "common/check.hpp"
 #include "rcd/addressing.hpp"
 
 namespace tcast::group {
 
 BinAssignment BinAssignment::random_equal(std::span<const NodeId> nodes,
                                           std::size_t bins, RngStream& rng) {
-  TCAST_CHECK(bins >= 1);
-  std::vector<NodeId> shuffled(nodes.begin(), nodes.end());
-  rng.shuffle(shuffled);
-  std::vector<std::vector<NodeId>> out(bins);
-  for (std::size_t i = 0; i < shuffled.size(); ++i)
-    out[i % bins].push_back(shuffled[i]);
-  return BinAssignment(std::move(out));
+  BinAssignment out;
+  out.assign_random_equal(nodes, bins, rng);
+  return out;
 }
 
 BinAssignment BinAssignment::contiguous(std::span<const NodeId> nodes,
                                         std::size_t bins) {
+  BinAssignment out;
+  out.assign_contiguous(nodes, bins);
+  return out;
+}
+
+BinAssignment BinAssignment::sampled(std::span<const NodeId> nodes,
+                                     double inclusion_prob, RngStream& rng) {
+  BinAssignment out;
+  out.assign_sampled(nodes, inclusion_prob, rng);
+  return out;
+}
+
+void BinAssignment::assign_random_equal(std::span<const NodeId> nodes,
+                                        std::size_t bins, RngStream& rng) {
   TCAST_CHECK(bins >= 1);
-  std::vector<std::vector<NodeId>> out(bins);
+  scratch_.assign(nodes.begin(), nodes.end());
+  random_equal_partition_into(scratch_, bins, rng, arena_, offsets_);
+  build_words();
+}
+
+void BinAssignment::assign_contiguous(std::span<const NodeId> nodes,
+                                      std::size_t bins) {
+  TCAST_CHECK(bins >= 1);
+  arena_.assign(nodes.begin(), nodes.end());
+  offsets_.resize(bins + 1);
   // Same size profile as the random variant (sizes differ by ≤ 1), but the
   // membership is the deterministic index order.
   const std::size_t n = nodes.size();
@@ -29,27 +47,39 @@ BinAssignment BinAssignment::contiguous(std::span<const NodeId> nodes,
   const std::size_t extra = n % bins;
   std::size_t next = 0;
   for (std::size_t b = 0; b < bins; ++b) {
-    const std::size_t size = base + (b < extra ? 1 : 0);
-    out[b].assign(nodes.begin() + static_cast<std::ptrdiff_t>(next),
-                  nodes.begin() + static_cast<std::ptrdiff_t>(next + size));
-    next += size;
+    offsets_[b] = next;
+    next += base + (b < extra ? 1 : 0);
   }
-  return BinAssignment(std::move(out));
+  offsets_[bins] = n;
+  build_words();
 }
 
-BinAssignment BinAssignment::sampled(std::span<const NodeId> nodes,
-                                     double inclusion_prob, RngStream& rng) {
+void BinAssignment::assign_sampled(std::span<const NodeId> nodes,
+                                   double inclusion_prob, RngStream& rng) {
   TCAST_CHECK(inclusion_prob >= 0.0 && inclusion_prob <= 1.0);
-  std::vector<std::vector<NodeId>> out(1);
+  arena_.clear();
   for (const NodeId id : nodes)
-    if (rng.bernoulli(inclusion_prob)) out[0].push_back(id);
-  return BinAssignment(std::move(out));
+    if (rng.bernoulli(inclusion_prob)) arena_.push_back(id);
+  offsets_.assign({std::size_t{0}, arena_.size()});
+  build_words();
 }
 
-std::size_t BinAssignment::total_assigned() const {
-  std::size_t total = 0;
-  for (const auto& b : bins_) total += b.size();
-  return total;
+void BinAssignment::build_words() {
+  words_per_bin_ = 0;
+  const std::size_t bins = bin_count();
+  if (bins == 0 || bins > kMaxBinsForWords || arena_.empty()) return;
+  NodeId max_id = 0;
+  for (const NodeId id : arena_) max_id = std::max(max_id, id);
+  words_per_bin_ = NodeSet::words_for(static_cast<std::size_t>(max_id) + 1);
+  words_.assign(bins * words_per_bin_, NodeSet::Word{0});
+  for (std::size_t b = 0; b < bins; ++b) {
+    NodeSet::Word* const image = words_.data() + b * words_per_bin_;
+    for (const NodeId id : bin(b)) {
+      image[static_cast<std::size_t>(id) / NodeSet::kWordBits] |=
+          NodeSet::Word{1} << (static_cast<std::size_t>(id) %
+                               NodeSet::kWordBits);
+    }
+  }
 }
 
 std::vector<std::uint16_t> BinAssignment::to_wire(std::size_t universe) const {
@@ -61,8 +91,8 @@ std::vector<std::uint16_t> BinAssignment::to_wire(std::size_t universe) const {
 void BinAssignment::to_wire_into(std::size_t universe,
                                  std::vector<std::uint16_t>& out) const {
   out.assign(universe, rcd::kNotInRound);
-  for (std::size_t b = 0; b < bins_.size(); ++b) {
-    for (const NodeId id : bins_[b]) {
+  for (std::size_t b = 0; b < bin_count(); ++b) {
+    for (const NodeId id : bin(b)) {
       TCAST_CHECK(static_cast<std::size_t>(id) < universe);
       out[id] = static_cast<std::uint16_t>(b);
     }

@@ -1,10 +1,20 @@
 // Bin (group) assignment — the group-testing structure tcast queries act on.
+//
+// Storage is one flat NodeId arena plus a bins+1 offset table (no per-bin
+// vectors), and — when the bin count is small enough for the word path to
+// win — a per-bin 64-bit word image of the membership, so word-capable
+// channels can answer "is this bin empty?" with AND + popcount against
+// their positive set (see common/node_set.hpp). The `assign_*` methods
+// reuse every buffer, so a round engine re-binning each round allocates
+// nothing at steady state.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/node_set.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
@@ -13,8 +23,18 @@ namespace tcast::group {
 /// A partition of (a subset of) the participants into queryable bins.
 class BinAssignment {
  public:
-  /// Random equal-sized partition (Alg. 1 line 4): shuffle then deal
-  /// round-robin; bin sizes differ by at most one.
+  /// Beyond this many bins the per-bin word images are not built: with b
+  /// bins over n nodes a span walk costs O(n/b) per query while the word
+  /// path costs O(n/64) — words only win while b ≲ 64, and the image arena
+  /// would grow as b·n/64 words.
+  static constexpr std::size_t kMaxBinsForWords = 64;
+
+  BinAssignment() = default;
+
+  /// Random equal-sized partition (Alg. 1 line 4): Fisher-Yates permutation
+  /// then round-robin deal; bin sizes differ by at most one. Draw sequence
+  /// and resulting bins are bit-identical to the historical
+  /// shuffle-then-push_back construction.
   static BinAssignment random_equal(std::span<const NodeId> nodes,
                                     std::size_t bins, RngStream& rng);
 
@@ -28,11 +48,34 @@ class BinAssignment {
   static BinAssignment sampled(std::span<const NodeId> nodes,
                                double inclusion_prob, RngStream& rng);
 
-  std::size_t bin_count() const { return bins_.size(); }
-  std::span<const NodeId> bin(std::size_t i) const {
-    return bins_.at(i);
+  /// Allocation-reusing variants of the factories above: repopulate this
+  /// assignment in place, keeping arena/offset/word capacity.
+  void assign_random_equal(std::span<const NodeId> nodes, std::size_t bins,
+                           RngStream& rng);
+  void assign_contiguous(std::span<const NodeId> nodes, std::size_t bins);
+  void assign_sampled(std::span<const NodeId> nodes, double inclusion_prob,
+                      RngStream& rng);
+
+  std::size_t bin_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
   }
-  std::size_t total_assigned() const;
+  std::span<const NodeId> bin(std::size_t i) const {
+    TCAST_DCHECK(i < bin_count());
+    return {arena_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  std::size_t total_assigned() const { return arena_.size(); }
+
+  /// Word image of bin membership, present when bin_count() ≤
+  /// kMaxBinsForWords (and the assignment is non-trivial). `bin_words(i)`
+  /// spans words_per_bin() words covering ids [0, 64·words_per_bin()); ids
+  /// beyond every member's id are simply absent. Word-capable channels use
+  /// it for AND+popcount queries; everyone else ignores it.
+  bool has_bin_words() const { return words_per_bin_ != 0; }
+  std::size_t words_per_bin() const { return words_per_bin_; }
+  std::span<const NodeSet::Word> bin_words(std::size_t i) const {
+    TCAST_DCHECK(has_bin_words() && i < bin_count());
+    return {words_.data() + i * words_per_bin_, words_per_bin_};
+  }
 
   /// Serialises to the on-air node→bin map carried by a Predicate frame.
   /// `universe` is the participant count (wire vector length); nodes not in
@@ -45,10 +88,13 @@ class BinAssignment {
   void to_wire_into(std::size_t universe, std::vector<std::uint16_t>& out) const;
 
  private:
-  explicit BinAssignment(std::vector<std::vector<NodeId>> bins)
-      : bins_(std::move(bins)) {}
+  void build_words();
 
-  std::vector<std::vector<NodeId>> bins_;
+  std::vector<NodeId> arena_;          ///< members, grouped by bin
+  std::vector<std::size_t> offsets_;   ///< bins+1 arena offsets
+  std::vector<NodeId> scratch_;        ///< reused shuffle buffer
+  std::vector<NodeSet::Word> words_;   ///< bins × words_per_bin_ image
+  std::size_t words_per_bin_ = 0;      ///< 0 = no word image
 };
 
 }  // namespace tcast::group

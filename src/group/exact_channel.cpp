@@ -16,13 +16,27 @@ const char* to_string(CollisionModel m) {
 
 ExactChannel::ExactChannel(std::vector<bool> positive, RngStream& rng,
                            Config cfg)
+    : ExactChannel(positive.size(), 0, rng, std::move(cfg)) {
+  for (std::size_t i = 0; i < positive.size(); ++i)
+    if (positive[i]) positive_.insert(static_cast<NodeId>(i));
+}
+
+ExactChannel::ExactChannel(std::size_t n, std::size_t x, RngStream& rng,
+                           Config cfg)
     : QueryChannel(cfg.model),
-      positive_(std::move(positive)),
+      positive_(n),
       rng_(&rng),
       capture_(cfg.capture ? std::move(cfg.capture)
-                           : std::make_shared<radio::GeometricCaptureModel>()) {
-  positive_count_ = static_cast<std::size_t>(
-      std::count(positive_.begin(), positive_.end(), true));
+                           : std::make_shared<radio::GeometricCaptureModel>()),
+      fast_path_(cfg.node_set_fast_path) {
+  nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) nodes_[i] = static_cast<NodeId>(i);
+  if (x > 0) assign_random_positives(x, rng);
+}
+
+ExactChannel ExactChannel::all_negative(std::size_t n, RngStream& rng,
+                                        Config cfg) {
+  return ExactChannel(n, 0, rng, std::move(cfg));
 }
 
 ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
@@ -32,47 +46,115 @@ ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
 
 ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
                                                  RngStream& rng, Config cfg) {
-  std::vector<bool> positive(n, false);
-  for (const NodeId id : rng.sample_subset(n, x))
-    positive[static_cast<std::size_t>(id)] = true;
-  return ExactChannel(std::move(positive), rng, std::move(cfg));
+  return ExactChannel(n, x, rng, std::move(cfg));
 }
 
 void ExactChannel::set_positive(NodeId id, bool value) {
-  auto ref = positive_.at(static_cast<std::size_t>(id));
-  if (ref == value) return;
-  positive_[static_cast<std::size_t>(id)] = value;
-  positive_count_ += value ? 1 : std::size_t(-1);
+  TCAST_CHECK(static_cast<std::size_t>(id) < positive_.universe());
+  if (value)
+    positive_.insert(id);
+  else
+    positive_.erase(id);
 }
 
-std::vector<NodeId> ExactChannel::all_nodes() const {
-  std::vector<NodeId> out(positive_.size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = static_cast<NodeId>(i);
-  return out;
+void ExactChannel::assign_random_positives(std::size_t x, RngStream& rng) {
+  const std::size_t n = positive_.universe();
+  TCAST_CHECK(x <= n);
+  positive_.clear();
+  // Exactly the draw sequence of rng.sample_subset(n, x): a partial
+  // Fisher-Yates over an iota pool, x draws of uniform_below(n - i). The
+  // sorted-output step of sample_subset draws nothing, and set membership
+  // is order-free, so inserting unsorted is equivalent.
+  pool_scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pool_scratch_[i] = static_cast<NodeId>(i);
+  for (std::size_t i = 0; i < x; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(n - i));
+    std::swap(pool_scratch_[i], pool_scratch_[j]);
+    positive_.insert(pool_scratch_[i]);
+  }
 }
 
 std::optional<std::size_t> ExactChannel::oracle_positive_count(
     std::span<const NodeId> nodes) const {
   std::size_t count = 0;
   for (const NodeId id : nodes)
-    if (positive_.at(static_cast<std::size_t>(id))) ++count;
+    if (positive_.test(id)) ++count;
   return count;
 }
 
-BinQueryResult ExactChannel::do_query_set(std::span<const NodeId> nodes) {
+std::optional<std::size_t> ExactChannel::oracle_positive_count(
+    const BinAssignment& a, std::size_t idx) const {
+  if (a.has_bin_words())
+    return NodeSet::intersection_count(positive_.words(), a.bin_words(idx));
+  return oracle_positive_count(a.bin(idx));
+}
+
+BinQueryResult ExactChannel::resolve(std::size_t positives,
+                                     std::span<const NodeId> bin) {
+  if (positives == 0) return BinQueryResult::empty();
+  if (model() == CollisionModel::kOnePlus) return BinQueryResult::activity();
+  // 2+ model: a lone reply always decodes; collisions may capture.
+  const auto idx = capture_->captured_index(positives, *rng_);
+  if (!idx) return BinQueryResult::activity();
+  // The captured identity is the (idx+1)-th positive in bin order — the
+  // same pick (and the same RNG consumption) as the reference path's
+  // positives_in_bin[*idx], located by walking the span instead of
+  // materialising the positives.
+  std::size_t seen = 0;
+  for (const NodeId id : bin) {
+    if (!positive_.test(id)) continue;
+    if (seen == *idx) return BinQueryResult::captured_node(id);
+    ++seen;
+  }
+  TCAST_CHECK_MSG(false, "captured index past the bin's positives");
+  return BinQueryResult::activity();
+}
+
+BinQueryResult ExactChannel::query_set_reference(
+    std::span<const NodeId> nodes) {
+  // The pre-NodeSet implementation, kept verbatim as the differential
+  // reference: bounds-checked membership walk into a per-query heap vector.
   std::vector<NodeId> positives_in_bin;
-  for (const NodeId id : nodes)
-    if (positive_.at(static_cast<std::size_t>(id)))
-      positives_in_bin.push_back(id);
+  for (const NodeId id : nodes) {
+    TCAST_CHECK(static_cast<std::size_t>(id) < positive_.universe());
+    if (positive_.test(id)) positives_in_bin.push_back(id);
+  }
   const std::size_t k = positives_in_bin.size();
 
   if (k == 0) return BinQueryResult::empty();
   if (model() == CollisionModel::kOnePlus) return BinQueryResult::activity();
-  // 2+ model: a lone reply always decodes; collisions may capture.
   const auto idx = capture_->captured_index(k, *rng_);
   if (idx) return BinQueryResult::captured_node(positives_in_bin[*idx]);
   return BinQueryResult::activity();
+}
+
+BinQueryResult ExactChannel::do_query_bin(const BinAssignment& a,
+                                          std::size_t idx) {
+  if (!fast_path_) return query_set_reference(a.bin(idx));
+  if (a.has_bin_words()) {
+    const auto image = a.bin_words(idx);
+    if (model() == CollisionModel::kOnePlus)
+      return NodeSet::intersects(positive_.words(), image)
+                 ? BinQueryResult::activity()
+                 : BinQueryResult::empty();
+    return resolve(NodeSet::intersection_count(positive_.words(), image),
+                   a.bin(idx));
+  }
+  return do_query_set(a.bin(idx));
+}
+
+BinQueryResult ExactChannel::do_query_set(std::span<const NodeId> nodes) {
+  if (!fast_path_) return query_set_reference(nodes);
+  if (model() == CollisionModel::kOnePlus) {
+    for (const NodeId id : nodes)
+      if (positive_.test(id)) return BinQueryResult::activity();
+    return BinQueryResult::empty();
+  }
+  std::size_t k = 0;
+  for (const NodeId id : nodes) k += positive_.test(id) ? 1u : 0u;
+  return resolve(k, nodes);
 }
 
 }  // namespace tcast::group

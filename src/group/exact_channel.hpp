@@ -3,11 +3,19 @@
 // Queries are resolved instantly from ground truth with exact 1+/2+
 // semantics; the only randomness is the capture draw of the 2+ model. This
 // is the channel behind Figs. 1-3 and 5-11.
+//
+// Ground truth is stored as a NodeSet (common/node_set.hpp), so a bin query
+// against a word-capable BinAssignment is AND + popcount over 64-node words
+// instead of a per-member span walk. The historical scalar path is retained
+// verbatim behind Config::node_set_fast_path = false as the reference
+// implementation; the conformance suite's differential tests prove the two
+// paths bit-identical (outcomes, query counts, and RNG draws).
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "common/node_set.hpp"
 #include "group/query_channel.hpp"
 #include "radio/capture.hpp"
 
@@ -19,6 +27,10 @@ class ExactChannel final : public QueryChannel {
     CollisionModel model = CollisionModel::kOnePlus;
     /// 2+ capture draw; nullptr = GeometricCaptureModel defaults.
     std::shared_ptr<radio::CaptureModel> capture;
+    /// false = the retained scalar reference path (per-member span walk with
+    /// bounds-checked access and a per-query heap vector, exactly the
+    /// pre-NodeSet implementation). Differential tests flip this.
+    bool node_set_fast_path = true;
   };
 
   /// `positive[i]` = ground truth for node i; `rng` is borrowed for capture
@@ -27,33 +39,66 @@ class ExactChannel final : public QueryChannel {
       : ExactChannel(std::move(positive), rng, Config{}) {}
   ExactChannel(std::vector<bool> positive, RngStream& rng, Config cfg);
 
+  /// All-negative ground truth over `n` nodes — the reusable-workspace
+  /// entry: pair with assign_random_positives()/rebind_rng() to recycle one
+  /// channel across Monte-Carlo trials (the sweep engine's hot loop).
+  static ExactChannel all_negative(std::size_t n, RngStream& rng, Config cfg);
+
   /// Convenience: n nodes with a random x-subset positive.
   static ExactChannel with_random_positives(std::size_t n, std::size_t x,
                                             RngStream& rng, Config cfg);
   static ExactChannel with_random_positives(std::size_t n, std::size_t x,
                                             RngStream& rng);
 
-  std::size_t participant_count() const { return positive_.size(); }
-  std::size_t positive_count() const { return positive_count_; }
+  std::size_t participant_count() const { return positive_.universe(); }
+  std::size_t positive_count() const { return positive_.count(); }
   bool is_positive(NodeId id) const {
-    return positive_.at(static_cast<std::size_t>(id));
+    TCAST_DCHECK(static_cast<std::size_t>(id) < positive_.universe());
+    return positive_.test(id);
   }
   void set_positive(NodeId id, bool value);
 
-  /// All participant ids [0, n) — the initial candidate set.
-  std::vector<NodeId> all_nodes() const;
+  /// Replaces the ground truth with a fresh uniformly random x-subset of
+  /// positives, consuming exactly the draw sequence of
+  /// `rng.sample_subset(n, x)` — a trial that recycles this channel sees the
+  /// same positives (and downstream draws) as one that constructed a fresh
+  /// channel via with_random_positives().
+  void assign_random_positives(std::size_t x, RngStream& rng);
+
+  /// Points capture draws at a different stream (per-trial streams when the
+  /// channel is recycled across trials).
+  void rebind_rng(RngStream& rng) { rng_ = &rng; }
+
+  /// All participant ids [0, n) — the initial candidate set. The span
+  /// aliases a member cached at construction; no per-call allocation.
+  std::span<const NodeId> all_nodes() const { return nodes_; }
 
   std::optional<std::size_t> oracle_positive_count(
       std::span<const NodeId> nodes) const override;
+  std::optional<std::size_t> oracle_positive_count(
+      const BinAssignment& a, std::size_t idx) const override;
 
  protected:
+  BinQueryResult do_query_bin(const BinAssignment& a,
+                              std::size_t idx) override;
   BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
 
  private:
-  std::vector<bool> positive_;
-  std::size_t positive_count_ = 0;
+  /// with_random_positives()/all_negative() body; a constructor so the
+  /// factories can return prvalues (QueryChannel is neither copyable nor
+  /// movable). Kept private — and four-argument — so braced bool lists like
+  /// `ExactChannel({true}, rng, cfg)` keep selecting the vector<bool> ctor.
+  ExactChannel(std::size_t n, std::size_t x, RngStream& rng, Config cfg);
+
+  BinQueryResult resolve(std::size_t positives, std::span<const NodeId> bin);
+  BinQueryResult query_set_reference(std::span<const NodeId> nodes);
+
+  NodeSet positive_;
+  std::vector<NodeId> nodes_;         ///< cached [0, n)
+  std::vector<NodeId> pool_scratch_;  ///< assign_random_positives() reuse
   RngStream* rng_;
   std::shared_ptr<radio::CaptureModel> capture_;
+  bool fast_path_;
 };
 
 }  // namespace tcast::group

@@ -28,6 +28,9 @@ RcdPrimitive resolve_primitive(const PacketChannel::Config& cfg) {
 
 PacketChannel::PacketChannel(std::vector<bool> positive, Config cfg)
     : QueryChannel(cfg.model), positive_(std::move(positive)), cfg_(cfg) {
+  nodes_.resize(positive_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    nodes_[i] = static_cast<NodeId>(i);
   sim_ = std::make_unique<sim::Simulator>(cfg_.seed, cfg_.stream);
   channel_ = std::make_unique<radio::Channel>(*sim_, cfg_.channel);
   initiator_radio_ = std::make_unique<radio::Radio>(
@@ -98,13 +101,6 @@ PacketChannel::PacketChannel(std::vector<bool> positive, Config cfg)
 }
 
 PacketChannel::~PacketChannel() = default;
-
-std::vector<NodeId> PacketChannel::all_nodes() const {
-  std::vector<NodeId> out(positive_.size());
-  for (std::size_t i = 0; i < out.size(); ++i)
-    out[i] = static_cast<NodeId>(i);
-  return out;
-}
 
 double PacketChannel::initiator_energy_mj() {
   initiator_radio_->energy().settle(sim_->now());

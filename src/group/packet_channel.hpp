@@ -70,7 +70,8 @@ class PacketChannel final : public QueryChannel {
   ~PacketChannel() override;
 
   std::size_t participant_count() const { return positive_.size(); }
-  std::vector<NodeId> all_nodes() const;
+  /// All participant ids [0, n); aliases a member cached at construction.
+  std::span<const NodeId> all_nodes() const { return nodes_; }
   void set_positive(NodeId id, bool value) {
     positive_.at(static_cast<std::size_t>(id)) = value;
   }
@@ -103,6 +104,7 @@ class PacketChannel final : public QueryChannel {
   void ensure_announced(const std::vector<std::uint16_t>& wire);
 
   std::vector<bool> positive_;
+  std::vector<NodeId> nodes_;  ///< cached [0, n) for all_nodes()
   Config cfg_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<radio::Channel> channel_;

@@ -94,6 +94,15 @@ class QueryChannel {
     return std::nullopt;
   }
 
+  /// Bin-indexed variant of the oracle hook. Defaults to the span overload,
+  /// so wrappers that forward the span version keep working unchanged;
+  /// word-capable channels override it to count via AND+popcount against
+  /// the assignment's word image.
+  virtual std::optional<std::size_t> oracle_positive_count(
+      const BinAssignment& a, std::size_t idx) const {
+    return oracle_positive_count(a.bin(idx));
+  }
+
  protected:
   /// For implementations that internally re-issue an exchange (the packet
   /// tier's backoff re-polls): each physical re-poll occupies a slot and

@@ -1,0 +1,156 @@
+// Differential proof for the NodeSet fast path (group/exact_channel.hpp):
+// with identical seeds, every registry algorithm must produce bit-identical
+// results whether ExactChannel answers queries through the word image
+// (node_set_fast_path = true) or through the retained scalar reference walk
+// (false). "Bit-identical" is the full observable surface: the decision,
+// every ThresholdOutcome counter, the channel's query count, and the
+// post-run RNG state (same number of draws consumed — proven by comparing
+// the next raw output word).
+//
+// A second suite proves the batched sweep engine (perf/sweep_engine.hpp)
+// inherits the property: fast vs reference sweeps agree bitwise for every
+// worker count, so workspace recycling is unobservable too.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+#include "conformance/scenario.hpp"
+#include "core/registry.hpp"
+#include "group/exact_channel.hpp"
+#include "perf/sweep_engine.hpp"
+
+namespace tcast::conformance {
+namespace {
+
+struct RunRecord {
+  core::ThresholdOutcome outcome;
+  QueryCount channel_queries = 0;
+  /// One raw engine word drawn AFTER the run: equal iff both runs consumed
+  /// the same number of draws from the same stream.
+  std::uint64_t next_rng_word = 0;
+};
+
+RunRecord run_scenario(const Scenario& sc, const core::AlgorithmSpec& spec,
+                       bool fast_path) {
+  RngStream rng(sc.seed, 0x9e77);
+  group::ExactChannel::Config cfg;
+  cfg.model = sc.model;
+  cfg.node_set_fast_path = fast_path;
+  auto channel =
+      group::ExactChannel::with_random_positives(sc.n, sc.x, rng, cfg);
+  RunRecord rec;
+  rec.outcome =
+      spec.run(channel, channel.all_nodes(), sc.t, rng, sc.engine_options());
+  rec.channel_queries = channel.queries_used();
+  rec.next_rng_word = rng.bits();
+  return rec;
+}
+
+void expect_identical(const RunRecord& fast, const RunRecord& ref) {
+  EXPECT_EQ(fast.outcome.decision, ref.outcome.decision);
+  EXPECT_EQ(fast.outcome.queries, ref.outcome.queries);
+  EXPECT_EQ(fast.outcome.rounds, ref.outcome.rounds);
+  EXPECT_EQ(fast.outcome.confirmed_positives, ref.outcome.confirmed_positives);
+  EXPECT_EQ(fast.outcome.remaining_candidates,
+            ref.outcome.remaining_candidates);
+  EXPECT_EQ(fast.outcome.retries, ref.outcome.retries);
+  EXPECT_EQ(fast.outcome.faults_seen, ref.outcome.faults_seen);
+  EXPECT_EQ(fast.channel_queries, ref.channel_queries);
+  EXPECT_EQ(fast.next_rng_word, ref.next_rng_word);
+}
+
+TEST(FastPathDifferential, RegistryWideFastMatchesReference) {
+  RngStream scenario_rng(0xfa57, 31);
+  for (std::size_t i = 0; i < 150; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    for (const auto& spec : core::algorithm_registry()) {
+      SCOPED_TRACE(spec.name + " on [" + sc.describe() + "]");
+      expect_identical(run_scenario(sc, spec, /*fast_path=*/true),
+                       run_scenario(sc, spec, /*fast_path=*/false));
+    }
+  }
+}
+
+TEST(FastPathDifferential, WideBinCountsFallBackIdentically) {
+  // bins > kMaxBinsForWords disables the word image, so this exercises the
+  // fast path's span route (still .at()-free) against the reference on the
+  // largest populations the scenario vocabulary allows, with thresholds
+  // driving 2t well past 64 bins.
+  RngStream scenario_rng(0xfa57, 32);
+  for (std::size_t i = 0; i < 40; ++i) {
+    Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/false);
+    sc.n = 96;
+    sc.t = 48 + scenario_rng.uniform_below(49);  // 2t ∈ [96, 192] bins
+    if (sc.x > sc.n) sc.x = sc.n;
+    for (const auto& spec : core::algorithm_registry()) {
+      SCOPED_TRACE(spec.name + " on [" + sc.describe() + "]");
+      expect_identical(run_scenario(sc, spec, /*fast_path=*/true),
+                       run_scenario(sc, spec, /*fast_path=*/false));
+    }
+  }
+}
+
+void expect_bitwise_equal(const RunningStats& a, const RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+std::vector<std::size_t> worker_counts_under_test() {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts{1, 2};
+  if (hw > 2) counts.push_back(hw);
+  return counts;
+}
+
+perf::QuerySweepSpec sweep_spec(const std::string& algorithm,
+                                group::CollisionModel model) {
+  perf::QuerySweepSpec spec;
+  spec.algorithm = algorithm;
+  spec.n = 96;
+  spec.trials = 50;  // not a multiple of any chunk size
+  spec.seed = 0xabad1dea;
+  spec.channel.model = model;
+  for (const std::size_t x : {std::size_t{0}, std::size_t{5}, std::size_t{16},
+                              std::size_t{48}, std::size_t{96}})
+    spec.points.push_back({x, 16, perf::sweep_point_id(9, 1, x)});
+  return spec;
+}
+
+TEST(FastPathDifferential, SweepEngineFastMatchesReferenceAcrossWorkerCounts) {
+  for (const auto model :
+       {group::CollisionModel::kOnePlus, group::CollisionModel::kTwoPlus}) {
+    for (const char* algorithm : {"2tbins", "expinc"}) {
+      // Reference: scalar path on a single worker — the pre-PR ground truth.
+      ThreadPool reference_pool(1);
+      perf::QuerySweepSpec ref = sweep_spec(algorithm, model);
+      ref.channel.node_set_fast_path = false;
+      ref.pool = &reference_pool;
+      const auto reference = perf::run_query_sweep(ref);
+
+      for (const std::size_t workers : worker_counts_under_test()) {
+        ThreadPool pool(workers);
+        perf::QuerySweepSpec fast = sweep_spec(algorithm, model);
+        fast.pool = &pool;  // node_set_fast_path defaults to true
+        const auto got = perf::run_query_sweep(fast);
+        ASSERT_EQ(got.queries.size(), reference.queries.size());
+        SCOPED_TRACE(std::string(algorithm) + " model=" +
+                     group::to_string(model) +
+                     " workers=" + std::to_string(workers));
+        for (std::size_t p = 0; p < got.queries.size(); ++p)
+          expect_bitwise_equal(got.queries[p], reference.queries[p]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcast::conformance

@@ -186,7 +186,7 @@ TEST(RoundEngine, SoundnessOfEveryInference) {
   ExactChannel inner({true, false, true, false, true, false, true, false},
                      rng);
   group::InstrumentedChannel ch(inner);
-  const std::vector<NodeId> nodes = inner.all_nodes();
+  const auto nodes = inner.all_nodes();
   const auto out = run_two_t_bins(ch, nodes, 3, rng);
   EXPECT_TRUE(out.decision);
   for (const auto& rec : ch.transcript()) {

@@ -72,7 +72,8 @@ TEST(Session, ParticipantSubsetIsRespected) {
   RngStream rng(6);
   group::ExactChannel ch(
       {true, true, true, true, true, true, true, true}, rng);
-  ThresholdSession session(ch, {0, 2, 4, 6}, rng);
+  const std::vector<NodeId> evens = {0, 2, 4, 6};
+  ThresholdSession session(ch, evens, rng);
   EXPECT_TRUE(session.tcast(4).decision);
   EXPECT_FALSE(session.tcast(5).decision);  // only 4 participants
 }

@@ -1,23 +1,38 @@
 #!/usr/bin/env python3
 """Compare a tcast_bench JSON report against a committed baseline.
 
-Gates CI on performance regressions: for every benchmark present in both
-reports, the current median throughput (items_per_s) must not fall more than
---max-regression below the baseline. Benchmarks present on only one side are
-reported but never fail the gate (new benchmarks appear, old ones retire).
+Gates CI on performance regressions and reports improvements: for every
+benchmark present in both reports, the current median throughput
+(items_per_s) is compared against the baseline. A drop of more than
+--max-regression fails the gate; a gain of more than --min-improvement is
+highlighted (improvements never fail). Benchmarks present only in the
+current run are listed as new; benchmarks present only in the baseline are
+listed as missing and — with --fail-on-missing — fail the gate, catching
+benchmarks that silently stopped being registered or ran.
 
 A missing baseline file is a soft pass (exit 0): the first PR that adds a
 benchmark cannot have a baseline for it yet.
 
+With --summary-out PATH, a GitHub-flavoured markdown table of the
+comparison is appended to PATH (pass "$GITHUB_STEP_SUMMARY" in CI).
+
 Usage:
   tools/compare_bench.py --baseline BENCH_tcast.json --current BENCH_ci.json \
-      [--max-regression 0.25]
+      [--max-regression 0.25] [--min-improvement 0.25] [--fail-on-missing] \
+      [--summary-out PATH]
 """
 
 import argparse
 import json
 import os
 import sys
+
+# Row statuses, in display order.
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVED = "improved"
+STATUS_OK = "ok"
+STATUS_MISSING = "missing"
+STATUS_NEW = "new"
 
 
 def load_report(path):
@@ -38,7 +53,86 @@ def throughput_by_name(report):
     return out
 
 
-def main():
+def compare(base, cur, max_regression, min_improvement):
+    """Compares throughput maps; returns rows of
+    (name, baseline_ips, current_ips, ratio, status), sorted by name within
+    each membership class (shared, then missing, then new). ratio and the
+    absent side's throughput are None where not applicable."""
+    rows = []
+    for name in sorted(base):
+        if name not in cur:
+            rows.append((name, base[name], None, None, STATUS_MISSING))
+            continue
+        ratio = cur[name] / base[name]
+        if ratio < 1.0 - max_regression:
+            status = STATUS_REGRESSION
+        elif ratio > 1.0 + min_improvement:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+        rows.append((name, base[name], cur[name], ratio, status))
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, None, cur[name], None, STATUS_NEW))
+    return rows
+
+
+def render_text(rows, max_regression, min_improvement):
+    lines = []
+    width = max((len(r[0]) for r in rows), default=0)
+    for name, base_ips, cur_ips, ratio, status in rows:
+        if status == STATUS_MISSING:
+            lines.append(f"  {name:<{width}}  (missing from current run)")
+        elif status == STATUS_NEW:
+            lines.append(f"  {name:<{width}}  (new, no baseline)")
+        else:
+            marker = {
+                STATUS_REGRESSION: "  <-- REGRESSION",
+                STATUS_IMPROVED: "  <-- improved",
+                STATUS_OK: "",
+            }[status]
+            lines.append(
+                f"  {name:<{width}}  {base_ips:12.4g} -> {cur_ips:12.4g} "
+                f"items/s  ({ratio:6.2%}){marker}")
+    return "\n".join(lines)
+
+
+def render_markdown(rows):
+    lines = [
+        "### Benchmark comparison",
+        "",
+        "| benchmark | baseline items/s | current items/s | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    emoji = {
+        STATUS_REGRESSION: ":small_red_triangle_down: regression",
+        STATUS_IMPROVED: ":rocket: improved",
+        STATUS_OK: "ok",
+        STATUS_MISSING: ":warning: missing",
+        STATUS_NEW: "new",
+    }
+    for name, base_ips, cur_ips, ratio, status in rows:
+        base_s = f"{base_ips:.4g}" if base_ips is not None else "—"
+        cur_s = f"{cur_ips:.4g}" if cur_ips is not None else "—"
+        ratio_s = f"{ratio:.2%}" if ratio is not None else "—"
+        lines.append(
+            f"| `{name}` | {base_s} | {cur_s} | {ratio_s} | {emoji[status]} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def gate(rows, fail_on_missing):
+    """Returns (exit_code, list of failure description lines)."""
+    failures = []
+    for name, _, _, ratio, status in rows:
+        if status == STATUS_REGRESSION:
+            failures.append(f"{name}: {ratio:.2%} of baseline throughput")
+        elif status == STATUS_MISSING and fail_on_missing:
+            failures.append(f"{name}: registered in baseline but missing "
+                            "from the current run")
+    return (1 if failures else 0), failures
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="committed baseline report (BENCH_tcast.json)")
@@ -47,7 +141,16 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="fail if throughput drops by more than this "
                              "fraction (default 0.25)")
-    args = parser.parse_args()
+    parser.add_argument("--min-improvement", type=float, default=0.25,
+                        help="highlight gains larger than this fraction "
+                             "(default 0.25; never fails)")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="fail if a baseline benchmark is absent from "
+                             "the current run")
+    parser.add_argument("--summary-out",
+                        help="append a markdown comparison table to this "
+                             "file (e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args(argv)
 
     if not os.path.exists(args.baseline):
         print(f"compare_bench: no baseline at {args.baseline}; skipping "
@@ -62,33 +165,26 @@ def main():
               f"vs current quick={current.get('quick')}; workload sizes "
               "differ, throughput comparison is still scale-free but noisier")
 
-    base = throughput_by_name(baseline)
-    cur = throughput_by_name(current)
+    rows = compare(throughput_by_name(baseline), throughput_by_name(current),
+                   args.max_regression, args.min_improvement)
+    print(render_text(rows, args.max_regression, args.min_improvement))
 
-    regressions = []
-    width = max((len(n) for n in base), default=0)
-    for name in sorted(base):
-        if name not in cur:
-            print(f"  {name:<{width}}  (missing from current run)")
-            continue
-        ratio = cur[name] / base[name]
-        marker = ""
-        if ratio < 1.0 - args.max_regression:
-            marker = "  <-- REGRESSION"
-            regressions.append((name, ratio))
-        print(f"  {name:<{width}}  {base[name]:12.4g} -> {cur[name]:12.4g} "
-              f"items/s  ({ratio:6.2%}){marker}")
-    for name in sorted(set(cur) - set(base)):
-        print(f"  {name:<{width}}  (new, no baseline)")
+    if args.summary_out:
+        with open(args.summary_out, "a", encoding="utf-8") as f:
+            f.write(render_markdown(rows) + "\n")
 
-    if regressions:
-        print(f"\ncompare_bench: {len(regressions)} benchmark(s) regressed "
-              f"more than {args.max_regression:.0%}:")
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2%} of baseline throughput")
-        return 1
-    print(f"\ncompare_bench: OK ({len(base)} baseline benchmark(s), "
-          f"none regressed more than {args.max_regression:.0%})")
+    improved = sum(1 for r in rows if r[4] == STATUS_IMPROVED)
+    code, failures = gate(rows, args.fail_on_missing)
+    if failures:
+        print(f"\ncompare_bench: {len(failures)} failure(s):")
+        for line in failures:
+            print(f"  {line}")
+        return code
+    shared = sum(1 for r in rows if r[4] in
+                 (STATUS_OK, STATUS_IMPROVED, STATUS_REGRESSION))
+    print(f"\ncompare_bench: OK ({shared} compared benchmark(s), none "
+          f"regressed more than {args.max_regression:.0%}, "
+          f"{improved} improved more than {args.min_improvement:.0%})")
     return 0
 
 

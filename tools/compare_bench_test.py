@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/compare_bench.py (run as a ctest)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench  # noqa: E402
+
+
+def report(benches, quick=False):
+    return {
+        "schema": "tcast-bench-v1",
+        "git_sha": "deadbeef",
+        "host": {},
+        "quick": quick,
+        "benchmarks": [
+            {"name": name, "items_per_s": ips} for name, ips in benches
+        ],
+    }
+
+
+def write_report(path, benches, quick=False):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report(benches, quick), f)
+
+
+class ThroughputByName(unittest.TestCase):
+    def test_drops_nameless_and_zero_throughput_entries(self):
+        r = report([("a", 10.0), ("b", 0.0)])
+        r["benchmarks"].append({"items_per_s": 5.0})
+        self.assertEqual(compare_bench.throughput_by_name(r), {"a": 10.0})
+
+
+class Compare(unittest.TestCase):
+    def test_classifies_each_status(self):
+        base = {"steady": 100.0, "slower": 100.0, "faster": 100.0,
+                "gone": 100.0}
+        cur = {"steady": 99.0, "slower": 60.0, "faster": 300.0,
+               "brand_new": 42.0}
+        rows = compare_bench.compare(base, cur, max_regression=0.25,
+                                     min_improvement=0.25)
+        status = {name: s for name, _, _, _, s in rows}
+        self.assertEqual(status, {
+            "steady": compare_bench.STATUS_OK,
+            "slower": compare_bench.STATUS_REGRESSION,
+            "faster": compare_bench.STATUS_IMPROVED,
+            "gone": compare_bench.STATUS_MISSING,
+            "brand_new": compare_bench.STATUS_NEW,
+        })
+
+    def test_boundary_is_not_a_regression(self):
+        # Exactly at the threshold (75% of baseline with max_regression=0.25)
+        # must pass: the gate is "more than", not "at least".
+        rows = compare_bench.compare({"b": 100.0}, {"b": 75.0}, 0.25, 0.25)
+        self.assertEqual(rows[0][4], compare_bench.STATUS_OK)
+
+    def test_ratio_computed_against_baseline(self):
+        rows = compare_bench.compare({"b": 50.0}, {"b": 100.0}, 0.25, 0.25)
+        self.assertAlmostEqual(rows[0][3], 2.0)
+
+
+class Gate(unittest.TestCase):
+    def rows(self):
+        return compare_bench.compare(
+            {"ok": 100.0, "bad": 100.0, "gone": 100.0},
+            {"ok": 100.0, "bad": 10.0}, 0.25, 0.25)
+
+    def test_regression_fails(self):
+        code, failures = compare_bench.gate(self.rows(), fail_on_missing=False)
+        self.assertEqual(code, 1)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("bad", failures[0])
+
+    def test_missing_fails_only_when_requested(self):
+        _, failures = compare_bench.gate(self.rows(), fail_on_missing=False)
+        self.assertFalse(any("gone" in f for f in failures))
+        code, failures = compare_bench.gate(self.rows(), fail_on_missing=True)
+        self.assertEqual(code, 1)
+        self.assertTrue(any("gone" in f for f in failures))
+
+
+class RenderMarkdown(unittest.TestCase):
+    def test_emits_one_table_row_per_benchmark(self):
+        rows = compare_bench.compare({"a": 100.0, "gone": 1.0},
+                                     {"a": 300.0, "new": 2.0}, 0.25, 0.25)
+        md = compare_bench.render_markdown(rows)
+        self.assertIn("| `a` |", md)
+        self.assertIn("improved", md)
+        self.assertIn("| `gone` |", md)
+        self.assertIn("missing", md)
+        self.assertIn("| `new` |", md)
+
+
+class MainEndToEnd(unittest.TestCase):
+    def run_main(self, *argv):
+        return compare_bench.main(list(argv))
+
+    def test_missing_baseline_is_soft_pass(self):
+        with tempfile.TemporaryDirectory() as d:
+            cur = os.path.join(d, "cur.json")
+            write_report(cur, [("a", 1.0)])
+            code = self.run_main("--baseline", os.path.join(d, "nope.json"),
+                                 "--current", cur)
+            self.assertEqual(code, 0)
+
+    def test_fail_on_missing_gates_ci(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            write_report(base, [("a", 1.0), ("b", 1.0)])
+            write_report(cur, [("a", 1.0)])
+            self.assertEqual(
+                self.run_main("--baseline", base, "--current", cur), 0)
+            self.assertEqual(
+                self.run_main("--baseline", base, "--current", cur,
+                              "--fail-on-missing"), 1)
+
+    def test_summary_out_appends_markdown(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            summary = os.path.join(d, "summary.md")
+            write_report(base, [("a", 1.0)])
+            write_report(cur, [("a", 4.0)])
+            with open(summary, "w", encoding="utf-8") as f:
+                f.write("existing content\n")
+            code = self.run_main("--baseline", base, "--current", cur,
+                                 "--summary-out", summary)
+            self.assertEqual(code, 0)
+            with open(summary, encoding="utf-8") as f:
+                text = f.read()
+            self.assertTrue(text.startswith("existing content\n"))
+            self.assertIn("Benchmark comparison", text)
+            self.assertIn("| `a` |", text)
+
+    def test_bad_schema_raises(self):
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "bad.json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump({"schema": "other"}, f)
+            with self.assertRaises(ValueError):
+                compare_bench.load_report(path)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   bench::register_group_benches(registry);
   bench::register_core_benches(registry);
   bench::register_conformance_benches(registry);
+  bench::register_faults_benches(registry);
 
   if (list_only) {
     for (const auto& b : registry.benchmarks())

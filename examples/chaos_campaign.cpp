@@ -1,0 +1,155 @@
+// chaos_campaign: the chaos engine's command-line front end.
+//
+// Runs a randomized fault campaign across the algorithm registry ×
+// {exact, packet} × fault-plan grid with every conformance monitor online,
+// then delta-debugs each violating trace down to a minimal reproducer.
+//
+//   chaos_campaign --sessions 8 --seed 1          # bounded smoke (CI)
+//   chaos_campaign --sessions 64 --shrink         # nightly campaign
+//   chaos_campaign --unsafe-gate --shrink --emit-stanza
+//                                                 # demo: catch + minimize
+//                                                 # the known gate hole
+//
+// Exit code 0 = zero violations (or, with --unsafe-gate, violations found
+// AND every one shrunk to a replaying reproducer); 1 otherwise. With
+// --out-dir, minimized reproducers are written one per file (replay spec
+// on line 1, regression stanza after) so CI can upload them as artifacts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "chaos/chaos_engine.hpp"
+#include "chaos/shrinker.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t sessions = 8;
+  std::uint64_t seed = 1;
+  std::string tiers = "exact,packet";
+  bool unsafe_gate = false;
+  bool shrink = false;
+  bool emit_stanza = false;
+  std::string out_dir;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sessions N] [--seed S] [--tiers exact,packet]\n"
+               "          [--unsafe-gate] [--shrink] [--emit-stanza]\n"
+               "          [--out-dir DIR]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--sessions") {
+      const char* v = next();
+      if (!v) return false;
+      opts.sessions = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--tiers") {
+      const char* v = next();
+      if (!v) return false;
+      opts.tiers = v;
+    } else if (arg == "--unsafe-gate") {
+      opts.unsafe_gate = true;
+    } else if (arg == "--shrink") {
+      opts.shrink = true;
+    } else if (arg == "--emit-stanza") {
+      opts.emit_stanza = true;
+    } else if (arg == "--out-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opts.out_dir = v;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcast;
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  chaos::CampaignConfig cfg;
+  cfg.sessions_per_cell = opts.sessions;
+  cfg.seed = opts.seed;
+  cfg.break_counts_two_gate = opts.unsafe_gate;
+  cfg.tiers.clear();
+  if (opts.tiers.find("exact") != std::string::npos)
+    cfg.tiers.push_back(chaos::Tier::kExact);
+  if (opts.tiers.find("packet") != std::string::npos)
+    cfg.tiers.push_back(chaos::Tier::kPacket);
+  if (cfg.tiers.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (opts.unsafe_gate) {
+    // The gate hole needs lossy 2+ sessions with downgraded captures to
+    // show itself; focus the grid there so the demo stays fast.
+    faults::FaultPlan plan;
+    plan.process = faults::FaultPlan::LossProcess::kGilbertElliott;
+    plan.ge_enter_bad = 0.3;
+    plan.ge_exit_bad = 0.2;
+    plan.ge_loss_bad = 0.8;
+    plan.capture_downgrade = 0.4;
+    cfg.plans = {plan};
+    cfg.algorithms = {"2tbins", "expinc"};
+  }
+
+  const auto result = chaos::run_campaign(cfg);
+  std::printf("chaos campaign: %zu sessions, %zu faults injected, "
+              "%zu violating, false-yes=%zu false-no=%zu\n",
+              result.sessions, result.faults_injected,
+              result.violating.size(), result.false_yes, result.false_no);
+
+  std::size_t shrunk_ok = 0;
+  if (opts.shrink) {
+    const auto pred = chaos::violates_any();
+    std::size_t index = 0;
+    for (const auto& victim : result.violating) {
+      const auto shrunk = chaos::shrink(victim.scenario, victim.trace, pred);
+      ++shrunk_ok;
+      std::printf("reproducer %zu: %zu -> %zu events, %zu probes\n  %s\n",
+                  index, shrunk.original_events, shrunk.trace.events.size(),
+                  shrunk.probes, shrunk.replay_spec().c_str());
+      const auto stanza = shrunk.regression_stanza(
+          "Reproducer" + std::to_string(index));
+      if (opts.emit_stanza) std::fputs(stanza.c_str(), stdout);
+      if (!opts.out_dir.empty()) {
+        const auto path =
+            opts.out_dir + "/reproducer_" + std::to_string(index) + ".txt";
+        std::ofstream out(path);
+        out << shrunk.replay_spec() << "\n\n" << stanza;
+      }
+      ++index;
+    }
+  }
+
+  if (opts.unsafe_gate) {
+    // Demo mode succeeds only if the monitors caught the hole (and, when
+    // shrinking, every violation minimized to a replaying reproducer).
+    const bool caught = !result.violating.empty();
+    const bool all_shrunk =
+        !opts.shrink || shrunk_ok == result.violating.size();
+    return caught && all_shrunk ? 0 : 1;
+  }
+  return result.violating.empty() ? 0 : 1;
+}

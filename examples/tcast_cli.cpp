@@ -14,6 +14,7 @@
 //             --retry fixed:3 --verbose            # loss-robustness sweep
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 
@@ -140,6 +141,12 @@ int main(int argc, char** argv) {
   Proportion correct;
   std::size_t false_yes = 0, false_no = 0, faults_injected = 0,
               faults_seen = 0;
+  // Per-node crash census across all trials: crashes, reboots, and how
+  // many trials ended with the node still down.
+  struct NodeCensus {
+    std::size_t crashes = 0, reboots = 0, ended_down = 0;
+  };
+  std::map<NodeId, NodeCensus> census;
   const bool truth = opts.x >= opts.t;
 
   for (std::size_t trial = 0; trial < mc.trials; ++trial) {
@@ -155,8 +162,17 @@ int main(int argc, char** argv) {
       faults::FaultPlan plan = *opts.fault_plan;
       plan.seed = opts.fault_seed + trial;  // replayable per trial
       faults::FaultyChannel faulty(base, nodes, plan);
+      faulty.set_session(trial);  // log lines render "s=TRIAL q=..."
       const auto out = spec->run(faulty, nodes, opts.t, rng, eopts);
       faults_injected += faulty.log().size();
+      for (const auto& ev : faulty.log().events()) {
+        if (ev.kind == faults::FaultEvent::Kind::kCrash)
+          ++census[ev.node].crashes;
+        else if (ev.kind == faults::FaultEvent::Kind::kReboot)
+          ++census[ev.node].reboots;
+      }
+      for (const NodeId id : nodes)
+        if (faulty.is_crashed(id)) ++census[id].ended_down;
       if (opts.verbose && !faulty.log().empty())
         std::printf("trial %zu faults (plan %s):\n%s", trial,
                     plan.spec().c_str(), faulty.log().to_string().c_str());
@@ -210,6 +226,14 @@ int main(int argc, char** argv) {
     std::printf("injected  : %zu faults (%zu caught by retries)\n",
                 faults_injected, faults_seen);
     std::printf("retries   : %s\n", retries.to_string().c_str());
+    if (opts.verbose && !census.empty()) {
+      std::printf("crashed-node census over %zu trials:\n", mc.trials);
+      for (const auto& [id, c] : census)
+        std::printf("  node %llu: %zu crashes, %zu reboots, "
+                    "ended %zu trials down\n",
+                    static_cast<unsigned long long>(id), c.crashes,
+                    c.reboots, c.ended_down);
+    }
   }
   return 0;
 }

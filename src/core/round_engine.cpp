@@ -134,7 +134,8 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
   const bool lossy_channel = channel_->lossy();
   const std::size_t activity_lb =
       (channel_->model() == group::CollisionModel::kTwoPlus &&
-       opts_.two_plus_activity_counts_two && !lossy_channel)
+       opts_.two_plus_activity_counts_two &&
+       (!lossy_channel || opts_.unsafe_counts_two_despite_loss))
           ? 2
           : 1;
 

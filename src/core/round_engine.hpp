@@ -95,6 +95,12 @@ struct EngineOptions {
   /// Loss robustness: what to do before committing a silent-bin disposal on
   /// a lossy channel (no effect on lossless channels).
   RetryPolicy retry;
+  /// TEST-ONLY: keep the "activity ⇒ ≥2" credit even on lossy channels,
+  /// i.e. disable the soundness gate above. This deliberately re-opens the
+  /// false-"yes" hole the gate closes; the chaos engine's shrinker tests
+  /// use it as the known-broken engine variant whose violations they
+  /// minimize. Never set in production configurations.
+  bool unsafe_counts_two_despite_loss = false;
   /// Safety valve; no exact algorithm comes near this (tests assert so).
   std::size_t max_rounds = 10'000;
 };

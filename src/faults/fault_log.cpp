@@ -23,8 +23,10 @@ std::size_t FaultLog::count(FaultEvent::Kind kind) const {
 
 std::string FaultLog::to_string() const {
   std::string s;
+  const std::string prefix =
+      session_ ? "s=" + std::to_string(*session_) + " " : "";
   for (const auto& e : events_) {
-    s += "q=" + std::to_string(e.at_query) + " " +
+    s += prefix + "q=" + std::to_string(e.at_query) + " " +
          faults::to_string(e.kind);
     if (e.node != kNoNode) s += " node=" + std::to_string(e.node);
     s += "\n";

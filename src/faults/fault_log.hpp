@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,24 @@ class FaultLog {
   /// Events of one kind.
   std::size_t count(FaultEvent::Kind kind) const;
 
-  /// One line per event: "q=12 false-empty", "q=30 crash node=4", ...
+  /// Tags the log with the session/trial it belongs to; rendered as an
+  /// `s=N` prefix on every line so multi-trial sweeps (campaigns,
+  /// tcast_cli --trials) stay attributable. Not part of equality — two
+  /// identical fault schedules from different trials still compare equal.
+  void set_session(std::size_t session) { session_ = session; }
+  std::optional<std::size_t> session() const { return session_; }
+
+  /// One line per event: "q=12 false-empty", "q=30 crash node=4", or with
+  /// a session set, "s=3 q=30 crash node=4".
   std::string to_string() const;
 
-  bool operator==(const FaultLog&) const = default;
+  bool operator==(const FaultLog& other) const {
+    return events_ == other.events_;
+  }
 
  private:
   std::vector<FaultEvent> events_;
+  std::optional<std::size_t> session_;
 };
 
 }  // namespace tcast::faults

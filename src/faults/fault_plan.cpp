@@ -41,8 +41,14 @@ std::vector<std::string_view> split(std::string_view text, char sep) {
 }
 
 std::string format_prob(double p) {
-  char buf[32];
+  // Shortest rendering that parses back to the identical double: %g (6
+  // significant digits) covers every hand-written probability, but plans
+  // built programmatically (fuzzers, campaign grids) carry full-precision
+  // doubles — fall back to max_digits10 so spec() always round-trips.
+  char buf[40];
   std::snprintf(buf, sizeof buf, "%g", p);
+  if (std::strtod(buf, nullptr) != p)
+    std::snprintf(buf, sizeof buf, "%.17g", p);
   return buf;
 }
 

@@ -82,8 +82,15 @@ struct FaultPlan {
   /// token.
   static std::optional<FaultPlan> parse(std::string_view text);
 
-  /// Canonical spec string; `parse(spec())` reproduces the plan exactly.
+  /// Canonical spec string; `parse(spec())` reproduces the plan exactly —
+  /// including plans built programmatically with probabilities that have no
+  /// short decimal form (probabilities are emitted with up to max_digits10
+  /// significant digits when the short rendering would not round-trip).
   std::string spec() const;
+
+  /// Alias of spec(), named for symmetry with parse(): every plan — parsed
+  /// or programmatically built — satisfies `parse(to_spec(p)) == p`.
+  std::string to_spec() const { return spec(); }
 
   bool operator==(const FaultPlan&) const = default;
 };

@@ -9,6 +9,7 @@ FaultyChannel::FaultyChannel(group::QueryChannel& inner,
                              FaultPlan plan)
     : QueryChannel(inner.model()),
       inner_(&inner),
+      ctrl_(inner.fault_control()),
       plan_(plan),
       rng_(plan.seed, /*stream=*/0xFA17ULL),  // fixed fault stream id
       participants_(participants.begin(), participants.end()) {
@@ -42,6 +43,7 @@ void FaultyChannel::run_crash_schedule(QueryCount at) {
       if (crashed_[idx] && reboot_due_[idx] <= at) {
         crashed_[idx] = 0;
         --crashed_count_;
+        if (ctrl_) ctrl_->restore_node(static_cast<NodeId>(idx));
         log_.record(FaultEvent::Kind::kReboot, at,
                     static_cast<NodeId>(idx));
       }
@@ -60,17 +62,33 @@ void FaultyChannel::run_crash_schedule(QueryCount at) {
   ++crashed_count_;
   if (plan_.reboot_after > 0)
     reboot_due_[static_cast<std::size_t>(victim)] = at + plan_.reboot_after;
+  if (ctrl_) ctrl_->fail_node(victim);
   log_.record(FaultEvent::Kind::kCrash, at, victim);
 }
 
+bool FaultyChannel::frame_level_loss(QueryCount at) {
+  if (!ctrl_ || plan_.process == FaultPlan::LossProcess::kNone) return false;
+  // Same draw, moved before the query: the fault stream is private, so the
+  // crash → loss → downgrade → spurious sequence is unchanged and the plan
+  // replays bit-identically whether or not the inner channel is frame-level.
+  if (loss_draw()) {
+    ctrl_->suppress_next_query();
+    // Logged unconditionally: at the frame level the loss *happened* (the
+    // initiator was deaf for the exchange) even if the bin was silent.
+    log_.record(FaultEvent::Kind::kFalseEmpty, at);
+  }
+  return true;
+}
+
 group::BinQueryResult FaultyChannel::corrupt(group::BinQueryResult r,
-                                             QueryCount at) {
+                                             QueryCount at, bool skip_loss) {
   // Draws happen unconditionally (for each enabled fault class) so the
   // per-query RNG consumption is constant; application is sequential, so a
   // lost reply plus interference legitimately reads as spurious activity.
-  const bool lost = plan_.process != FaultPlan::LossProcess::kNone
-                        ? loss_draw()
-                        : false;
+  const bool lost =
+      !skip_loss && plan_.process != FaultPlan::LossProcess::kNone
+          ? loss_draw()
+          : false;
   const bool downgrade = plan_.capture_downgrade > 0.0
                              ? rng_.bernoulli(plan_.capture_downgrade)
                              : false;
@@ -96,13 +114,17 @@ group::BinQueryResult FaultyChannel::do_query_bin(
     const group::BinAssignment& a, std::size_t idx) {
   const QueryCount at = queries_used() - 1;  // base class already counted us
   run_crash_schedule(at);
+  const bool skip_loss = frame_level_loss(at);
+  group::BinQueryResult r;
   const auto bin = a.bin(idx);
   const bool any_crashed =
-      crashed_count_ > 0 &&
+      !ctrl_ && crashed_count_ > 0 &&
       std::any_of(bin.begin(), bin.end(),
                   [this](NodeId id) { return is_crashed(id); });
-  group::BinQueryResult r;
   if (any_crashed) {
+    // Query-layer crash semantics: a crashed mote is silent, so it is
+    // filtered out of the queried set. (Frame level: its radio is off —
+    // the inner channel enforces silence for us, no filtering.)
     std::vector<NodeId> filtered;
     filtered.reserve(bin.size());
     for (const NodeId id : bin)
@@ -111,15 +133,16 @@ group::BinQueryResult FaultyChannel::do_query_bin(
   } else {
     r = inner_->query_bin(a, idx);
   }
-  return corrupt(r, at);
+  return corrupt(r, at, skip_loss);
 }
 
 group::BinQueryResult FaultyChannel::do_query_set(
     std::span<const NodeId> nodes) {
   const QueryCount at = queries_used() - 1;
   run_crash_schedule(at);
+  const bool skip_loss = frame_level_loss(at);
   group::BinQueryResult r;
-  if (crashed_count_ > 0) {
+  if (!ctrl_ && crashed_count_ > 0) {
     std::vector<NodeId> filtered;
     filtered.reserve(nodes.size());
     for (const NodeId id : nodes)
@@ -128,7 +151,7 @@ group::BinQueryResult FaultyChannel::do_query_set(
   } else {
     r = inner_->query_set(nodes);
   }
-  return corrupt(r, at);
+  return corrupt(r, at, skip_loss);
 }
 
 }  // namespace tcast::faults

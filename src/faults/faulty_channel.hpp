@@ -21,6 +21,20 @@
 // itself lossy() whenever the plan can misreport, which is what trips the
 // round engine's soundness gate and enables its retry policies.
 //
+// Frame-level fault determinism: when the inner channel exposes a
+// ChannelFaultControl (the packet tier does), crash/reboot and loss faults
+// are pushed *below* the query layer instead of being simulated by result
+// rewriting — a crashed mote's radio powers off on the sim clock
+// mid-exchange (it hears the poll, then dies before its reply turnaround),
+// a reboot powers it back on, and a loss fault deafens the initiator for
+// one query's exchange. The RNG draw sequence per query is unchanged
+// (crash → loss → downgrade → spurious, all from the dedicated fault
+// stream), so the same plan drives identical fault schedules on the exact
+// and packet tiers. One semantic difference: frame-level false-empty is
+// logged unconditionally (the injector cannot know whether the bin would
+// have been silent anyway), while the query-layer path logs it only when
+// it actually flipped a non-empty result.
+//
 // The oracle hook forwards, so instrumented/checked layers above keep their
 // ground-truth view; ground truth is *not* consulted for injection — all
 // faults are functions of (plan, query index, result) only.
@@ -47,6 +61,13 @@ class FaultyChannel final : public group::QueryChannel {
   const FaultPlan& plan() const { return plan_; }
   const FaultLog& log() const { return log_; }
 
+  /// Tags the fault log with a session/trial index (see FaultLog).
+  void set_session(std::size_t session) { log_.set_session(session); }
+
+  /// True when faults are injected at the frame level through the inner
+  /// channel's ChannelFaultControl rather than by result rewriting.
+  bool frame_level() const { return ctrl_ != nullptr; }
+
   std::size_t crashed_count() const { return crashed_count_; }
   bool is_crashed(NodeId id) const {
     const auto idx = static_cast<std::size_t>(id);
@@ -71,12 +92,19 @@ class FaultyChannel final : public group::QueryChannel {
  private:
   /// Step 1 above; `at` is this query's index.
   void run_crash_schedule(QueryCount at);
-  /// Steps 3–5; consumes a fixed number of RNG draws per call.
-  group::BinQueryResult corrupt(group::BinQueryResult r, QueryCount at);
+  /// Frame-level path only: performs the loss draw *before* the query and
+  /// arms the inner channel's one-shot suppression when it fires. Returns
+  /// whether the draw was consumed here (so corrupt() skips it).
+  bool frame_level_loss(QueryCount at);
+  /// Steps 3–5; consumes a fixed number of RNG draws per call unless the
+  /// loss draw already happened pre-query (`skip_loss`).
+  group::BinQueryResult corrupt(group::BinQueryResult r, QueryCount at,
+                                bool skip_loss);
   /// True when the loss process fires for this query (chain stepped first).
   bool loss_draw();
 
   group::QueryChannel* inner_;
+  group::ChannelFaultControl* ctrl_ = nullptr;  ///< non-null ⇒ frame level
   FaultPlan plan_;
   RngStream rng_;
   FaultLog log_;

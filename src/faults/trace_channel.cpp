@@ -1,0 +1,149 @@
+#include "faults/trace_channel.hpp"
+
+#include <algorithm>
+
+namespace tcast::faults {
+
+TraceChannel::TraceChannel(group::QueryChannel& inner, FaultTrace trace)
+    : QueryChannel(inner.model()),
+      inner_(&inner),
+      ctrl_(inner.fault_control()),
+      trace_(std::move(trace)),
+      events_(trace_.events) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_query < b.at_query;
+                   });
+  NodeId max_id = 0;
+  for (const auto& e : events_)
+    if (e.node != kNoNode) max_id = std::max(max_id, e.node);
+  crashed_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+}
+
+std::pair<std::size_t, std::size_t> TraceChannel::slice_for(QueryCount at) {
+  // Queries arrive in increasing index order, so a cursor suffices. Events
+  // scheduled for already-passed indexes (possible only with hand-edited
+  // traces) are skipped, never applied late.
+  while (cursor_ < events_.size() && events_[cursor_].at_query < at)
+    ++cursor_;
+  const std::size_t first = cursor_;
+  std::size_t last = first;
+  while (last < events_.size() && events_[last].at_query == at) ++last;
+  cursor_ = last;
+  return {first, last};
+}
+
+void TraceChannel::pre_query(QueryCount at, std::size_t first,
+                             std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const auto& e = events_[i];
+    switch (e.kind) {
+      case FaultEvent::Kind::kReboot: {
+        const auto idx = static_cast<std::size_t>(e.node);
+        if (idx < crashed_.size() && crashed_[idx]) {
+          crashed_[idx] = 0;
+          --crashed_count_;
+        }
+        if (ctrl_) ctrl_->restore_node(e.node);
+        log_.record(FaultEvent::Kind::kReboot, at, e.node);
+        break;
+      }
+      case FaultEvent::Kind::kCrash: {
+        const auto idx = static_cast<std::size_t>(e.node);
+        if (idx < crashed_.size() && !crashed_[idx]) {
+          crashed_[idx] = 1;
+          ++crashed_count_;
+        }
+        if (ctrl_) ctrl_->fail_node(e.node);
+        log_.record(FaultEvent::Kind::kCrash, at, e.node);
+        break;
+      }
+      case FaultEvent::Kind::kFalseEmpty:
+        // Frame level: losses happen on the air, before the result exists.
+        if (ctrl_) {
+          ctrl_->suppress_next_query();
+          log_.record(FaultEvent::Kind::kFalseEmpty, at);
+        }
+        break;
+      default:
+        break;  // result-rewriting events handled in post_query
+    }
+  }
+}
+
+group::BinQueryResult TraceChannel::post_query(group::BinQueryResult r,
+                                               QueryCount at,
+                                               std::size_t first,
+                                               std::size_t last) {
+  for (std::size_t i = first; i < last; ++i) {
+    const auto& e = events_[i];
+    switch (e.kind) {
+      case FaultEvent::Kind::kFalseEmpty:
+        if (!ctrl_ && r.nonempty()) {
+          log_.record(FaultEvent::Kind::kFalseEmpty, at);
+          r = group::BinQueryResult::empty();
+        }
+        break;
+      case FaultEvent::Kind::kCaptureDowngrade:
+        if (r.kind == group::BinQueryResult::Kind::kCaptured) {
+          // Log the node actually captured in *this* run, which may differ
+          // from the recorded one when replaying on a different stack.
+          log_.record(FaultEvent::Kind::kCaptureDowngrade, at, r.captured);
+          r = group::BinQueryResult::activity();
+        }
+        break;
+      case FaultEvent::Kind::kSpuriousActivity:
+        if (r.kind == group::BinQueryResult::Kind::kEmpty) {
+          log_.record(FaultEvent::Kind::kSpuriousActivity, at);
+          r = group::BinQueryResult::activity();
+        }
+        break;
+      default:
+        break;  // crash/reboot handled in pre_query
+    }
+  }
+  return r;
+}
+
+group::BinQueryResult TraceChannel::do_query_bin(
+    const group::BinAssignment& a, std::size_t idx) {
+  const QueryCount at = queries_used() - 1;  // base class already counted us
+  const auto [first, last] = slice_for(at);
+  pre_query(at, first, last);
+  group::BinQueryResult r;
+  const auto bin = a.bin(idx);
+  const bool any_crashed =
+      !ctrl_ && crashed_count_ > 0 &&
+      std::any_of(bin.begin(), bin.end(),
+                  [this](NodeId id) { return is_crashed(id); });
+  if (any_crashed) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(bin.size());
+    for (const NodeId id : bin)
+      if (!is_crashed(id)) filtered.push_back(id);
+    r = inner_->query_set(filtered);
+  } else {
+    r = inner_->query_bin(a, idx);
+  }
+  return post_query(r, at, first, last);
+}
+
+group::BinQueryResult TraceChannel::do_query_set(
+    std::span<const NodeId> nodes) {
+  const QueryCount at = queries_used() - 1;
+  const auto [first, last] = slice_for(at);
+  pre_query(at, first, last);
+  group::BinQueryResult r;
+  if (!ctrl_ && crashed_count_ > 0) {
+    std::vector<NodeId> filtered;
+    filtered.reserve(nodes.size());
+    for (const NodeId id : nodes)
+      if (!is_crashed(id)) filtered.push_back(id);
+    r = inner_->query_set(filtered);
+  } else {
+    r = inner_->query_set(nodes);
+  }
+  return post_query(r, at, first, last);
+}
+
+}  // namespace tcast::faults

@@ -1,0 +1,92 @@
+// TraceChannel: replays a FaultTrace verbatim against any inner channel.
+//
+// The deterministic complement of FaultyChannel: instead of drawing faults
+// from a seeded RNG, it walks an explicit FaultTrace and injects exactly
+// the listed events at exactly the listed query indexes — consuming zero
+// RNG, so the inner channel's own randomness is untouched and a replay is
+// bit-identical to the recording run on the same stack.
+//
+// Per query (index `at`, in this decorator's own accounting):
+//
+//   pre-query   kReboot events at `at` fire (bookkeeping + frame-level
+//               restore when the inner channel exposes ChannelFaultControl),
+//               then kCrash events (bookkeeping + frame-level fail), then —
+//               frame level only — a scheduled kFalseEmpty deafens the
+//               initiator for this query's exchange;
+//   query       resolves against the inner channel; without frame-level
+//               control, crashed nodes are filtered from the queried set
+//               (mirroring FaultyChannel's query-layer semantics);
+//   post-query  remaining events at `at` apply in trace order with the same
+//               guards as FaultyChannel: fe flips non-empty → empty, dg
+//               flips captured → activity, sp flips empty → activity.
+//
+// Everything injected is re-recorded in this channel's own FaultLog, so
+// "recorded trace replays identically" is checkable as log-vs-trace
+// equality (frame-level runs: including the unconditional fe entries).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/fault_log.hpp"
+#include "faults/fault_trace.hpp"
+#include "group/query_channel.hpp"
+
+namespace tcast::faults {
+
+class TraceChannel final : public group::QueryChannel {
+ public:
+  /// Events are replayed in at_query order (ties keep trace order). The
+  /// trace is copied; `inner` must outlive the channel.
+  TraceChannel(group::QueryChannel& inner, FaultTrace trace);
+
+  const FaultTrace& trace() const { return trace_; }
+  const FaultLog& log() const { return log_; }
+  void set_session(std::size_t session) { log_.set_session(session); }
+
+  /// True when faults are injected through the inner channel's
+  /// ChannelFaultControl (frame level) rather than by result rewriting.
+  bool frame_level() const { return ctrl_ != nullptr; }
+
+  std::size_t crashed_count() const { return crashed_count_; }
+  bool is_crashed(NodeId id) const {
+    const auto idx = static_cast<std::size_t>(id);
+    return idx < crashed_.size() && crashed_[idx];
+  }
+
+  bool lossy() const override { return trace_.lossy || inner_->lossy(); }
+
+  std::optional<std::size_t> oracle_positive_count(
+      std::span<const NodeId> nodes) const override {
+    return inner_->oracle_positive_count(nodes);
+  }
+
+ protected:
+  void do_announce(const group::BinAssignment& a) override {
+    inner_->announce(a);
+  }
+  group::BinQueryResult do_query_bin(const group::BinAssignment& a,
+                                     std::size_t idx) override;
+  group::BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
+
+ private:
+  /// Events scheduled for query `at`: [first, last) into events_.
+  std::pair<std::size_t, std::size_t> slice_for(QueryCount at);
+  /// Applies crash/reboot/frame-level-loss events before the query fires.
+  void pre_query(QueryCount at, std::size_t first, std::size_t last);
+  /// Applies the result-rewriting events after the query resolves.
+  group::BinQueryResult post_query(group::BinQueryResult r, QueryCount at,
+                                   std::size_t first, std::size_t last);
+
+  group::QueryChannel* inner_;
+  group::ChannelFaultControl* ctrl_ = nullptr;  ///< non-null ⇒ frame level
+  FaultTrace trace_;
+  std::vector<FaultEvent> events_;  ///< trace events, sorted by at_query
+  std::size_t cursor_ = 0;          ///< first event not yet replayed
+  FaultLog log_;
+
+  std::vector<char> crashed_;  ///< indexed by NodeId
+  std::size_t crashed_count_ = 0;
+};
+
+}  // namespace tcast::faults

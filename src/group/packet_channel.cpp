@@ -138,6 +138,26 @@ void PacketChannel::do_announce(const BinAssignment& a) {
   ensure_announced(scratch_wire_);
 }
 
+void PacketChannel::fail_node(NodeId id) {
+  TCAST_CHECK(static_cast<std::size_t>(id) < participants_.size());
+  pending_failures_.push_back(id);
+}
+
+void PacketChannel::restore_node(NodeId id) {
+  participants_.at(static_cast<std::size_t>(id))->radio->power_on();
+  // The mote slept through any announcements; forget the announced wire so
+  // the next query re-broadcasts the assignment and the rebooted node
+  // re-arms. Announcements are free in the paper's cost model, so query
+  // accounting is unchanged.
+  announced_wire_.clear();
+}
+
+void PacketChannel::suppress_next_query() { suppress_query_ = true; }
+
+bool PacketChannel::node_is_down(NodeId id) const {
+  return !participants_.at(static_cast<std::size_t>(id))->radio->is_on();
+}
+
 BinQueryResult PacketChannel::poll_once(std::uint16_t bin) {
   // One stack frame shared with the poll callback (which only fires inside
   // run_until_flag below, so the frame outlives it). Capturing a single
@@ -166,6 +186,26 @@ BinQueryResult PacketChannel::poll_once(std::uint16_t bin) {
       }
       f->done = true;
     });
+  }
+  if (!pending_failures_.empty()) {
+    // Mid-exchange death (ChannelFaultControl::fail_node): the poll frame
+    // just went on the air — poll_bin transmits immediately — so its
+    // delivery completes after airtime(poll) and the HACK/reply turnaround
+    // fires a full turnaround later. Powering off half a turnaround past
+    // delivery means the mote *received* the poll (it armed / evaluated the
+    // predicate), then died before its reply could fire; the reply-side
+    // guards (auto-HACK and pollcast both check the radio is still on)
+    // silence it without disturbing anything else on the air.
+    radio::Frame probe;
+    probe.type = radio::FrameType::kPoll;
+    probe.ack_request = true;
+    const SimTime die_at =
+        channel_->airtime(probe) + channel_->phy().turnaround / 2;
+    for (const NodeId id : pending_failures_) {
+      auto* radio = participants_[static_cast<std::size_t>(id)]->radio.get();
+      sim_->schedule_after(die_at, [radio] { radio->power_off(); });
+    }
+    pending_failures_.clear();
   }
   sim_->run_until_flag([f = &frame] { return f->done; });
   TCAST_CHECK_MSG(frame.done, "poll did not complete");
@@ -204,7 +244,14 @@ BinQueryResult PacketChannel::do_query_bin(const BinAssignment& a,
                                            std::size_t idx) {
   a.to_wire_into(positive_.size(), scratch_wire_);
   ensure_announced(scratch_wire_);
-  return poll(static_cast<std::uint16_t>(idx));
+  if (!suppress_query_) return poll(static_cast<std::uint16_t>(idx));
+  // Frame-level false-empty: the initiator is deaf for this one query's
+  // exchange (re-polls included) — every reply is lost at its antenna.
+  suppress_query_ = false;
+  initiator_radio_->set_deaf(true);
+  const auto r = poll(static_cast<std::uint16_t>(idx));
+  initiator_radio_->set_deaf(false);
+  return r;
 }
 
 BinQueryResult PacketChannel::do_query_set(std::span<const NodeId> nodes) {
@@ -213,7 +260,12 @@ BinQueryResult PacketChannel::do_query_set(std::span<const NodeId> nodes) {
   for (const NodeId id : nodes)
     scratch_wire_.at(static_cast<std::size_t>(id)) = 0;
   ensure_announced(scratch_wire_);
-  return poll(0);
+  if (!suppress_query_) return poll(0);
+  suppress_query_ = false;
+  initiator_radio_->set_deaf(true);
+  const auto r = poll(0);
+  initiator_radio_->set_deaf(false);
+  return r;
 }
 
 }  // namespace tcast::group

@@ -34,7 +34,7 @@ enum class RcdPrimitive {
               ///< vote window reads as activity (Sec. III-B)
 };
 
-class PacketChannel final : public QueryChannel {
+class PacketChannel final : public QueryChannel, public ChannelFaultControl {
  public:
   struct Config {
     CollisionModel model = CollisionModel::kOnePlus;
@@ -90,6 +90,24 @@ class PacketChannel final : public QueryChannel {
   /// or foreign energy can land in the vote window (interference).
   bool lossy() const override;
 
+  // --- ChannelFaultControl: frame-level fault determinism ---------------
+  //
+  // Fault injectors (faults/FaultyChannel, faults/TraceChannel) use these
+  // to push crash/reboot and loss faults below the query layer. A failed
+  // node's radio powers off on the sim clock *mid-exchange*: the power-off
+  // lands after the poll frame delivers (the mote hears the poll and arms)
+  // but before the reply turnaround elapses, so the death is a genuine
+  // frame-level event, not a query-set filter. None of the three hooks
+  // consumes channel RNG, so a recorded fault schedule replays
+  // bit-identically.
+  ChannelFaultControl* fault_control() override { return this; }
+  void fail_node(NodeId id) override;
+  void restore_node(NodeId id) override;
+  void suppress_next_query() override;
+
+  /// Whether participant `id`'s radio is currently powered off (tests).
+  bool node_is_down(NodeId id) const;
+
  protected:
   void do_announce(const BinAssignment& a) override;
   BinQueryResult do_query_bin(const BinAssignment& a,
@@ -119,6 +137,10 @@ class PacketChannel final : public QueryChannel {
   std::vector<std::uint16_t> scratch_wire_;
   std::uint32_t session_ = 0;
   std::uint64_t repolls_ = 0;
+  /// Nodes whose mid-exchange power-off is armed for the next poll.
+  std::vector<NodeId> pending_failures_;
+  /// One-shot initiator deafness for the next query (suppress_next_query).
+  bool suppress_query_ = false;
 };
 
 }  // namespace tcast::group

@@ -46,6 +46,34 @@ struct BinQueryResult {
   }
 };
 
+/// Frame-level fault hooks a packet-tier channel may expose (see
+/// faults/FaultyChannel and faults/TraceChannel). Where the abstract tier
+/// injects faults at query granularity, a channel implementing this
+/// interface takes them below the query layer, onto the sim clock: a failed
+/// node powers its radio off mid-exchange (it hears the poll, then dies
+/// before its HACK/reply fires) and a suppressed query loses every reply at
+/// the initiator's antenna. Faults scheduled here affect only radio state,
+/// never the channel's RNG consumption, so the same fault schedule replays
+/// bit-identically.
+class ChannelFaultControl {
+ public:
+  virtual ~ChannelFaultControl() = default;
+
+  /// Node `id` dies during the next query's exchange: it still receives the
+  /// poll frame (arming / predicate evaluation happens), but its radio is
+  /// off by the time the reply turnaround elapses.
+  virtual void fail_node(NodeId id) = 0;
+
+  /// A failed node powers back on immediately and re-learns the current bin
+  /// assignment on the next query (the re-announce is free in the paper's
+  /// cost model).
+  virtual void restore_node(NodeId id) = 0;
+
+  /// The initiator is deaf for the next query's exchange: replies are lost
+  /// at its antenna (the frame-level false-empty mechanism). One-shot.
+  virtual void suppress_next_query() = 0;
+};
+
 class QueryChannel {
  public:
   explicit QueryChannel(CollisionModel model) : model_(model) {}
@@ -102,6 +130,12 @@ class QueryChannel {
       const BinAssignment& a, std::size_t idx) const {
     return oracle_positive_count(a.bin(idx));
   }
+
+  /// Frame-level fault hooks, when this channel can honour them (the packet
+  /// tier). nullptr means fault injectors must fall back to query-level
+  /// semantics (filtering crashed nodes out of the queried set). Decorators
+  /// that sit between a fault injector and the base channel forward this.
+  virtual ChannelFaultControl* fault_control() { return nullptr; }
 
  protected:
   /// For implementations that internally re-issue an exchange (the packet

@@ -42,6 +42,7 @@ bool Radio::address_accepts(const Frame& f) const {
 
 void Radio::channel_deliver(const Frame& f, const RxInfo& info) {
   if (state_ != RadioState::kRx) return;
+  if (deaf_) return;
   if (!address_accepts(f)) return;
   ++frames_received_;
   // Hardware acknowledgement: below software, after one turnaround, for
@@ -59,6 +60,7 @@ void Radio::channel_deliver(const Frame& f, const RxInfo& info) {
 
 void Radio::channel_activity(SimTime start, SimTime end) {
   if (state_ != RadioState::kRx) return;
+  if (deaf_) return;
   if (on_activity_) on_activity_(start, end);
 }
 

@@ -56,6 +56,15 @@ class Radio {
   RadioState state() const { return state_; }
   bool is_on() const { return state_ != RadioState::kOff; }
 
+  /// Fault-injection hook: a deaf radio keeps its state machine (it still
+  /// transmits, still counts as kRx for the channel's busy-period
+  /// bookkeeping) but drops every delivery and activity indication at the
+  /// antenna. Unlike power_off this consumes no RNG and perturbs nothing at
+  /// the channel level, which is what makes frame-level false-empty faults
+  /// replay bit-identically (faults/TraceChannel).
+  void set_deaf(bool deaf) { deaf_ = deaf; }
+  bool deaf() const { return deaf_; }
+
   void set_short_address(ShortAddr a) { short_addr_ = a; }
   ShortAddr short_address() const { return short_addr_; }
 
@@ -112,6 +121,7 @@ class Radio {
   ActivityHandler on_activity_;
   EnergyMeter energy_;
   std::uint64_t frames_received_ = 0;
+  bool deaf_ = false;
   double pos_x_ = 0.0;
   double pos_y_ = 0.0;
 };

@@ -2,6 +2,7 @@
 // arithmetic the degradation envelope is built on.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "faults/fault_plan.hpp"
 
 namespace tcast::faults {
@@ -78,6 +79,41 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   };
   for (const char* text : bad)
     EXPECT_FALSE(FaultPlan::parse(text).has_value()) << text;
+}
+
+TEST(FaultPlan, ToSpecFuzzRoundTripsRandomPlans) {
+  // parse(to_spec(p)) == p must hold for *programmatically built* plans
+  // too, whose probabilities are raw uniform01 doubles with no short
+  // decimal form — the chaos campaign grid builds exactly such plans.
+  RngStream rng(0xF00D, 0);
+  for (int trial = 0; trial < 500; ++trial) {
+    FaultPlan plan;
+    switch (rng.uniform_below(3)) {
+      case 0:
+        break;  // kNone
+      case 1:
+        plan.process = FaultPlan::LossProcess::kIid;
+        plan.loss = rng.uniform01();
+        break;
+      default:
+        plan.process = FaultPlan::LossProcess::kGilbertElliott;
+        plan.ge_enter_bad = rng.uniform01();
+        plan.ge_exit_bad = rng.uniform01();
+        plan.ge_loss_good = rng.uniform01();
+        plan.ge_loss_bad = rng.uniform01();
+        break;
+    }
+    if (rng.bernoulli(0.5)) plan.capture_downgrade = rng.uniform01();
+    if (rng.bernoulli(0.5)) plan.spurious_activity = rng.uniform01();
+    if (rng.bernoulli(0.5)) {
+      plan.crash_rate = rng.uniform01();
+      plan.reboot_after = static_cast<std::size_t>(rng.uniform_below(100));
+    }
+    plan.seed = rng.bits();
+    const auto back = FaultPlan::parse(plan.to_spec());
+    ASSERT_TRUE(back.has_value()) << plan.to_spec();
+    EXPECT_EQ(*back, plan) << plan.to_spec();
+  }
 }
 
 TEST(FaultPlan, IidMarginalEqualsBurst) {

@@ -7,6 +7,7 @@
 
 #include "core/registry.hpp"
 #include "faults/faulty_channel.hpp"
+#include "faults/trace_channel.hpp"
 #include "group/exact_channel.hpp"
 
 namespace tcast::faults {
@@ -182,6 +183,84 @@ TEST(FaultyChannel, DifferentSeedsDrawDifferentFaults) {
   plan.seed = 22;
   run_with_plan(plan, &b);
   EXPECT_NE(a, b);
+}
+
+TEST(FaultyChannel, RebootFiresExactlyAtRebootAfter) {
+  // The reboot must land exactly `reboot_after` queries past the crash —
+  // not one early (reboot_due_ <= at is a ==, never a <, for a node that
+  // crashed at query c with due c + reboot_after).
+  RngStream rng(1, 0);
+  auto exact = make_exact({true}, rng);
+  const auto nodes = exact.all_nodes();
+  FaultyChannel faulty(exact, nodes, *FaultPlan::parse("crash=1,reboot=3"));
+  faulty.query_set(nodes);  // q0: crash, reboot due at q3
+  faulty.query_set(nodes);  // q1
+  faulty.query_set(nodes);  // q2
+  EXPECT_EQ(faulty.log().count(FaultEvent::Kind::kReboot), 0u);
+  EXPECT_TRUE(faulty.is_crashed(0));
+  faulty.query_set(nodes);  // q3: reboot fires
+  ASSERT_EQ(faulty.log().count(FaultEvent::Kind::kReboot), 1u);
+  for (const auto& e : faulty.log().events()) {
+    if (e.kind != FaultEvent::Kind::kReboot) continue;
+    EXPECT_EQ(e.at_query, 3u);  // crash at q0 + reboot_after 3
+    EXPECT_EQ(e.node, NodeId{0});
+  }
+}
+
+TEST(TraceChannel, CrashOfJustCapturedNodeSilencesIt) {
+  // Boundary: the node captured at query q crashes at query q+1. The
+  // capture already confirmed it; the crash must only silence it from
+  // later queries, not resurrect or double-count it.
+  RngStream rng(1, 0);
+  auto exact = make_exact({false, false, true, false}, rng,
+                          group::CollisionModel::kTwoPlus);
+  const auto nodes = exact.all_nodes();
+  const auto trace = *FaultTrace::parse("lossy=1,1:cr:2");
+  TraceChannel traced(exact, trace);
+  const auto first = traced.query_set(nodes);  // q0: lone positive captured
+  ASSERT_EQ(first.kind, group::BinQueryResult::Kind::kCaptured);
+  EXPECT_EQ(first.captured, NodeId{2});
+  const auto second = traced.query_set(nodes);  // q1: node 2 crashes
+  EXPECT_EQ(second.kind, group::BinQueryResult::Kind::kEmpty);
+  EXPECT_TRUE(traced.is_crashed(2));
+  EXPECT_EQ(traced.crashed_count(), 1u);
+}
+
+TEST(FaultyChannel, CrashWithOneCandidateRemainingDecidesFalse) {
+  // The confirmed + |candidates| < t termination edge: the last candidate
+  // crashes, its bin reads silent, the engine disposes it and must answer
+  // false with zero candidates left — not loop or claim a positive.
+  RngStream channel_rng(1, 1);
+  RngStream algo_rng(1, 2);
+  auto exact = make_exact({true}, channel_rng);
+  const auto nodes = exact.all_nodes();
+  FaultyChannel faulty(exact, nodes, *FaultPlan::parse("crash=1"));
+  core::EngineOptions opts;
+  opts.ordering = core::BinOrdering::kInOrder;
+  const auto* spec = core::find_algorithm("2tbins");
+  const auto out = spec->run(faulty, nodes, 1, algo_rng, opts);
+  EXPECT_FALSE(out.decision);
+  EXPECT_EQ(out.remaining_candidates, 0u);
+  EXPECT_EQ(out.confirmed_positives, 0u);
+}
+
+TEST(FaultLog, SessionIndexRendersWhenSet) {
+  RngStream rng(1, 0);
+  auto exact = make_exact({true, true}, rng);
+  const auto nodes = exact.all_nodes();
+  FaultyChannel faulty(exact, nodes, *FaultPlan::parse("iid=1"));
+  faulty.set_session(7);
+  faulty.query_set(nodes);
+  const auto text = faulty.log().to_string();
+  EXPECT_NE(text.find("s=7 q=0 false-empty"), std::string::npos) << text;
+}
+
+TEST(FaultLog, EqualityIgnoresSessionTag) {
+  FaultLog a, b;
+  a.record(FaultEvent::Kind::kCrash, 3, NodeId{1});
+  b.record(FaultEvent::Kind::kCrash, 3, NodeId{1});
+  b.set_session(12);
+  EXPECT_EQ(a, b);  // same schedule from different trials compares equal
 }
 
 TEST(FaultyChannel, LogRendersForBlame) {

@@ -25,7 +25,34 @@ void register_conformance_benches(perf::BenchRegistry& registry) {
           const auto scenario =
               conformance::random_scenario(rng, /*allow_lossy=*/false);
           for (const auto& spec : registry_algorithms) {
-            if (spec.needs_oracle) continue;
+            // The count:* adapters cost an estimation session on top of the
+            // verify session, so they get their own baseline below instead
+            // of skewing this one's run mix.
+            if (spec.needs_oracle || spec.name.starts_with("count:"))
+              continue;
+            const auto report =
+                conformance::check_algorithm(spec, scenario);
+            TCAST_CHECK_MSG(report.ok(),
+                            "conformance violation inside the benchmark");
+            ++runs;
+          }
+        }
+        return runs;
+      }});
+
+  registry.add(perf::Benchmark{
+      "conformance/check_counting_sweep",
+      "run",
+      {},
+      [](bool quick) -> std::uint64_t {
+        const std::size_t scenarios = quick ? 10 : 100;
+        RngStream rng(2027);
+        std::uint64_t runs = 0;
+        for (std::size_t s = 0; s < scenarios; ++s) {
+          const auto scenario =
+              conformance::random_scenario(rng, /*allow_lossy=*/false);
+          for (const auto& spec : core::algorithm_registry()) {
+            if (!spec.name.starts_with("count:")) continue;
             const auto report =
                 conformance::check_algorithm(spec, scenario);
             TCAST_CHECK_MSG(report.ok(),

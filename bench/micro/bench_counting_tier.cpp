@@ -1,0 +1,80 @@
+// Counting-tier microbenchmarks: the portfolio estimators of core/counting
+// timed on the abstract tier — the sampling estimator (Newport–Zheng
+// geometric phases), the exact splitting counter, and a whole figure-series
+// sweep of the threshold-via-count adapter through the batched engine (the
+// registry path the ext_counting study and the conformance sweeps drive).
+#include "bench/micro/micro_benchmarks.hpp"
+
+#include "common/rng.hpp"
+#include "core/counting.hpp"
+#include "group/exact_channel.hpp"
+#include "perf/sweep_engine.hpp"
+
+namespace tcast::bench {
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x7ca57ca57ca57ca5ULL;
+
+/// Repeated estimator runs on fresh (n, x) instances; returns runs done.
+template <typename Run>
+std::uint64_t estimator_reps(std::size_t n, std::size_t x, std::size_t reps,
+                             std::uint64_t stream, Run&& run) {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    RngStream rng(kSeed, stream + r);
+    auto ch = group::ExactChannel::with_random_positives(n, x, rng);
+    run(ch, rng);
+    ++total;
+  }
+  return total;
+}
+
+std::uint64_t adapter_sweep(std::size_t trials) {
+  perf::QuerySweepSpec spec;
+  spec.algorithm = "count:nz-geom";
+  spec.n = 128;
+  spec.trials = trials;
+  spec.seed = kSeed;
+  for (const std::size_t x : {0u, 4u, 8u, 12u, 16u, 20u, 24u, 32u, 48u, 64u,
+                              96u, 128u})
+    spec.points.push_back({x, 16, perf::sweep_point_id(91, 1, x)});
+  const auto result = perf::run_query_sweep(spec);
+  std::uint64_t runs = 0;
+  for (const auto& s : result.queries) runs += s.count();
+  return runs;
+}
+
+}  // namespace
+
+void register_counting_benches(perf::BenchRegistry& registry) {
+  registry.add(perf::Benchmark{
+      "core/counting/nz_geom/estimate",
+      "run",
+      {{"n", 1024}, {"x", 64}},
+      [](bool quick) {
+        return estimator_reps(
+            1024, 64, quick ? 50 : 500, 201, [](auto& ch, auto& rng) {
+              (void)core::run_newport_zheng_count(ch, ch.all_nodes(), rng);
+            });
+      }});
+
+  registry.add(perf::Benchmark{
+      "core/counting/beep_exact/count",
+      "run",
+      {{"n", 1024}, {"x", 64}},
+      [](bool quick) {
+        return estimator_reps(
+            1024, 64, quick ? 20 : 200, 301, [](auto& ch, auto& rng) {
+              (void)core::run_beep_exact_count(ch, ch.all_nodes(), rng, {});
+            });
+      }});
+
+  registry.add(perf::Benchmark{
+      "core/counting/threshold_adapter/full_sweep",
+      "run",
+      {{"n", 128}, {"t", 16}, {"points", 12}},
+      [](bool quick) { return adapter_sweep(quick ? 30 : 300); }});
+}
+
+}  // namespace tcast::bench

@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   bench::register_sim_benches(registry);
   bench::register_group_benches(registry);
   bench::register_core_benches(registry);
+  bench::register_counting_benches(registry);
   bench::register_conformance_benches(registry);
   bench::register_faults_benches(registry);
 

@@ -6,6 +6,8 @@
 //
 //   chaos_campaign --sessions 8 --seed 1          # bounded smoke (CI)
 //   chaos_campaign --sessions 64 --shrink         # nightly campaign
+//   chaos_campaign --counting --sessions 32       # counting-portfolio
+//                                                 # preset (nightly)
 //   chaos_campaign --unsafe-gate --shrink --emit-stanza
 //                                                 # demo: catch + minimize
 //                                                 # the known gate hole
@@ -22,6 +24,7 @@
 
 #include "chaos/chaos_engine.hpp"
 #include "chaos/shrinker.hpp"
+#include "core/registry.hpp"
 
 namespace {
 
@@ -29,6 +32,8 @@ struct Options {
   std::size_t sessions = 8;
   std::uint64_t seed = 1;
   std::string tiers = "exact,packet";
+  std::string algos;  ///< comma-separated registry names; empty = all
+  bool counting = false;
   bool unsafe_gate = false;
   bool shrink = false;
   bool emit_stanza = false;
@@ -38,8 +43,13 @@ struct Options {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sessions N] [--seed S] [--tiers exact,packet]\n"
+               "          [--algos NAME,NAME,...] [--counting]\n"
                "          [--unsafe-gate] [--shrink] [--emit-stanza]\n"
-               "          [--out-dir DIR]\n",
+               "          [--out-dir DIR]\n"
+               "  --algos    restrict the campaign to the named registry\n"
+               "             algorithms (default: every non-oracle entry)\n"
+               "  --counting use the counting-portfolio preset: all count:*\n"
+               "             adapters over the loss/crash plan axis\n",
                argv0);
 }
 
@@ -61,6 +71,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.tiers = v;
+    } else if (arg == "--algos") {
+      const char* v = next();
+      if (!v) return false;
+      opts.algos = v;
+    } else if (arg == "--counting") {
+      opts.counting = true;
     } else if (arg == "--unsafe-gate") {
       opts.unsafe_gate = true;
     } else if (arg == "--shrink") {
@@ -89,9 +105,27 @@ int main(int argc, char** argv) {
   }
 
   chaos::CampaignConfig cfg;
+  if (opts.counting) cfg = chaos::counting_campaign_config(opts.seed);
   cfg.sessions_per_cell = opts.sessions;
   cfg.seed = opts.seed;
   cfg.break_counts_two_gate = opts.unsafe_gate;
+  if (!opts.algos.empty()) {
+    cfg.algorithms.clear();
+    std::size_t start = 0;
+    while (start <= opts.algos.size()) {
+      const auto comma = opts.algos.find(',', start);
+      const auto end = comma == std::string::npos ? opts.algos.size() : comma;
+      if (end > start)
+        cfg.algorithms.push_back(opts.algos.substr(start, end - start));
+      start = end + 1;
+    }
+    for (const auto& name : cfg.algorithms) {
+      if (core::find_algorithm(name) == nullptr) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        return 2;
+      }
+    }
+  }
   cfg.tiers.clear();
   if (opts.tiers.find("exact") != std::string::npos)
     cfg.tiers.push_back(chaos::Tier::kExact);

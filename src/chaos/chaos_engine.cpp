@@ -294,6 +294,33 @@ std::vector<faults::FaultPlan> default_plan_grid(std::uint64_t seed) {
   return plans;
 }
 
+CampaignConfig counting_campaign_config(std::uint64_t seed) {
+  using LP = faults::FaultPlan::LossProcess;
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  for (const auto& spec : core::algorithm_registry())
+    if (spec.name.starts_with("count:")) cfg.algorithms.push_back(spec.name);
+  const auto add = [&cfg, seed](faults::FaultPlan p) {
+    p.seed = seed + cfg.plans.size();
+    cfg.plans.push_back(p);
+  };
+  add({});  // clean control: exact estimators must be exactly right here
+  faults::FaultPlan iid;
+  iid.process = LP::kIid;
+  iid.loss = 0.1;
+  add(iid);
+  faults::FaultPlan ge;
+  ge.process = LP::kGilbertElliott;
+  add(ge);
+  faults::FaultPlan crash;
+  crash.crash_rate = 0.02;
+  add(crash);
+  faults::FaultPlan crash_reboot = crash;
+  crash_reboot.reboot_after = 4;
+  add(crash_reboot);
+  return cfg;
+}
+
 CampaignResult run_campaign(const CampaignConfig& cfg) {
   std::vector<std::string> algorithms = cfg.algorithms;
   if (algorithms.empty()) {

@@ -155,4 +155,10 @@ struct CampaignResult {
 /// the worker count.
 CampaignResult run_campaign(const CampaignConfig& cfg);
 
+/// Campaign preset over the counting portfolio: every count:* adapter in
+/// the registry, both tiers, and a plan axis that exercises the estimators'
+/// interesting failure modes — lying silence (i.i.d. and bursty loss) and
+/// mote death (crash, crash+reboot) — plus the clean control cell.
+CampaignConfig counting_campaign_config(std::uint64_t seed);
+
 }  // namespace tcast::chaos

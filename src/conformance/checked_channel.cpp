@@ -241,4 +241,57 @@ void CheckedChannel::check_outcome(std::size_t threshold,
   }
 }
 
+void CheckedChannel::check_count_outcome(const core::CountOutcome& out) {
+  const auto truth = truth_positive_count_;
+  if (lossy() && (out.exact || out.confidence >= 1.0)) {
+    add_violation(Violation::Category::kTruth,
+                  "counting outcome claims exactness (exact=" +
+                      std::string(out.exact ? "true" : "false") +
+                      ", confidence=" + std::to_string(out.confidence) +
+                      ") on a channel that declares lossy() — silence "
+                      "proves nothing there");
+  }
+  if (out.exact && !lossy() &&
+      out.estimate != static_cast<double>(truth)) {
+    add_violation(Violation::Category::kOutcome,
+                  "claimed-exact count " + std::to_string(out.estimate) +
+                      " but ground truth x=" + std::to_string(truth));
+  }
+  if (!lossy() && truth == 0 && out.estimate != 0.0) {
+    // Activity cannot be manufactured on any tier, so with x = 0 every
+    // probe is silent and any estimator must land on 0.
+    add_violation(Violation::Category::kOutcome,
+                  "estimate " + std::to_string(out.estimate) +
+                      " with ground truth x=0 on an exact channel");
+  }
+  if (out.estimate < 0.0 ||
+      out.estimate > static_cast<double>(participants_.size())) {
+    add_violation(Violation::Category::kOutcome,
+                  "estimate " + std::to_string(out.estimate) +
+                      " outside [0, n=" +
+                      std::to_string(participants_.size()) + "]");
+  }
+  if (out.queries != queries_used()) {
+    add_violation(Violation::Category::kOutcome,
+                  "counting outcome reports " + std::to_string(out.queries) +
+                      " queries but the channel answered " +
+                      std::to_string(queries_used()));
+  }
+  if (model() == group::CollisionModel::kOnePlus && !out.confirmed.empty()) {
+    add_violation(Violation::Category::kOutcome,
+                  "confirmed identities under the 1+ model (no capture)");
+  }
+  std::vector<NodeId> unique(out.confirmed);
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (const NodeId id : unique) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= truth_.size() || !truth_[idx]) {
+      add_violation(Violation::Category::kOutcome,
+                    "confirmed node " + std::to_string(id) +
+                        " is not a real positive participant");
+    }
+  }
+}
+
 }  // namespace tcast::conformance

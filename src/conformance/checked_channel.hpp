@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/counting.hpp"
 #include "core/round_engine.hpp"
 #include "group/instrumented_channel.hpp"
 
@@ -76,6 +77,16 @@ class CheckedChannel final : public group::QueryChannel {
   /// (one-sided when !exact_semantics), query accounting, confirmed count.
   void check_outcome(std::size_t threshold,
                      const core::ThresholdOutcome& out);
+
+  /// Invariants on a counting estimator's outcome: exactness claims are
+  /// refused outright on lossy channels (the PR 2 gate, mirrored — silence
+  /// proves nothing there); a claimed-exact count must equal ground truth;
+  /// on exact channels x = 0 forces estimate 0 (activity cannot be
+  /// manufactured); estimates stay in [0, n]; query accounting; confirmed
+  /// identities must be real positives (and absent under the 1+ model).
+  /// Approximate accuracy is deliberately NOT judged per-run — that is the
+  /// statistical monitor's job (conformance/count_monitor).
+  void check_count_outcome(const core::CountOutcome& out);
 
   /// The underlying transcript (bin structures included).
   const group::InstrumentedChannel& instrumented() const { return instr_; }

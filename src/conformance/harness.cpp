@@ -31,11 +31,27 @@ struct BoundEntry {
   double (*bound)(std::size_t n, std::size_t t);
 };
 
+// count:* adapters spend an estimation phase and then (at most) one exact
+// verification session, so their ceiling is the estimator bound plus the
+// universal engine bound.
+double sampling_adapter_bound(std::size_t n, std::size_t t) {
+  return core::sampling_estimator_query_bound(n) +
+         analysis::engine_query_bound(n, t);
+}
+
+double beep_exact_adapter_bound(std::size_t n, std::size_t t) {
+  return core::beep_exact_query_bound(n) +
+         analysis::engine_query_bound(n, t);
+}
+
 // Name-specific worst-case bounds; algorithms not listed fall back to the
 // universal engine bound. Extend this table when registering an algorithm
-// with a tighter guarantee.
-// (no entries yet: every current algorithm shares the engine bound)
-constexpr std::array<BoundEntry, 0> kBoundTable{};
+// with a tighter (or, as for the adapters, composed) guarantee.
+constexpr std::array<BoundEntry, 3> kBoundTable{{
+    {"count:nz-geom", &sampling_adapter_bound},
+    {"count:geom-scan", &sampling_adapter_bound},
+    {"count:beep-exact", &beep_exact_adapter_bound},
+}};
 
 }  // namespace
 
@@ -44,6 +60,12 @@ double registered_query_bound(std::string_view algorithm, std::size_t n,
   for (const auto& entry : kBoundTable)
     if (entry.name == algorithm) return entry.bound(n, t);
   return analysis::engine_query_bound(n, t);
+}
+
+double registered_count_query_bound(std::string_view estimator,
+                                    std::size_t n) {
+  if (estimator == "beep-exact") return core::beep_exact_query_bound(n);
+  return core::sampling_estimator_query_bound(n);
 }
 
 std::string ConformanceReport::summary() const {
@@ -266,8 +288,144 @@ ConformanceReport metamorphic_seed_shift_check(
 bool has_deterministic_counts(std::string_view algorithm) {
   // The sampling hint of probabilistic ABNS consumes the RNG (and so picks
   // a different branch per seed) even under the deterministic engine
-  // configuration; everything else is RNG-free there.
-  return algorithm != "prob-abns";
+  // configuration; the count:* adapters likewise burn RNG in their
+  // estimation phase (sampled probes, or the exact counter's shuffle).
+  // Everything else is RNG-free there.
+  return algorithm != "prob-abns" && !algorithm.starts_with("count:");
+}
+
+std::string CountingReport::summary() const {
+  if (violations.empty()) return {};
+  std::string s = algorithm + " (counting) on [" + scenario.describe() +
+                  "] x=" + std::to_string(truth) + ":";
+  for (const auto& v : violations)
+    s += std::string("\n  [") + to_string(v.category) + "] " + v.message;
+  return s;
+}
+
+CountingReport check_counting_algorithm(const core::CountAlgorithmSpec& spec,
+                                        const Scenario& scenario) {
+  CountingReport report;
+  report.scenario = scenario;
+  report.algorithm = spec.name;
+
+  RngStream channel_rng(scenario.seed, kChannelStream);
+  RngStream algo_rng(scenario.seed, kAlgorithmStream);
+  group::ExactChannel::Config ecfg;
+  ecfg.model = scenario.model;
+  group::ExactChannel exact(draw_positives(scenario), channel_rng, ecfg);
+  const auto participants = exact.all_nodes();
+
+  std::optional<LossyChannel> lossy;
+  group::QueryChannel* inner = &exact;
+  if (scenario.lossy()) {
+    lossy.emplace(exact, scenario.loss_prob, channel_rng);
+    inner = &*lossy;
+  }
+
+  CheckedChannel::Config ccfg;
+  ccfg.exact_semantics = !scenario.lossy();
+  ccfg.two_plus_activity_counts_two = scenario.effective_counts_two();
+  ccfg.query_bound = registered_count_query_bound(spec.name, scenario.n);
+  CheckedChannel checked(*inner, participants, ccfg);
+
+  report.outcome = spec.run(checked, participants, algo_rng, {});
+  checked.check_count_outcome(report.outcome);
+  report.truth = checked.true_positive_count();
+  report.violations = checked.violations();
+  return report;
+}
+
+std::vector<CountingReport> counting_differential_check(
+    const Scenario& scenario) {
+  // Loss-free, like the threshold differential: under loss the estimators
+  // legitimately diverge (each sees its own false negatives).
+  Scenario exact_sc = scenario;
+  exact_sc.loss_prob = 0.0;
+
+  std::vector<CountingReport> reports;
+  for (const auto& spec : core::counting_registry()) {
+    auto report = check_counting_algorithm(spec, exact_sc);
+    if (spec.exact &&
+        report.outcome.estimate != static_cast<double>(report.truth)) {
+      report.violations.push_back(
+          {Violation::Category::kOutcome,
+           "differential: exact estimator returned " +
+               std::to_string(report.outcome.estimate) +
+               " but ground truth x=" + std::to_string(report.truth)});
+    }
+    if (report.truth == 0 && !report.outcome.exact) {
+      report.violations.push_back(
+          {Violation::Category::kOutcome,
+           "differential: x = 0 must be proven exactly on the loss-free "
+           "tier (the whole-set anchor is silent)"});
+    }
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+namespace {
+
+core::CountOutcome run_count_relabeled(const core::CountAlgorithmSpec& spec,
+                                       const Scenario& sc, NodeId offset,
+                                       NodeId stride) {
+  TCAST_CHECK(stride >= 1);
+  const auto base_positive = draw_positives(sc);
+  const std::size_t top =
+      sc.n == 0 ? 1
+                : static_cast<std::size_t>(offset) +
+                      (sc.n - 1) * static_cast<std::size_t>(stride) + 1;
+  std::vector<bool> positive(top, false);
+  std::vector<NodeId> participants;
+  participants.reserve(sc.n);
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    const NodeId id = offset + static_cast<NodeId>(i) * stride;
+    positive[static_cast<std::size_t>(id)] = base_positive[i];
+    participants.push_back(id);
+  }
+
+  RngStream channel_rng(sc.seed, kChannelStream);
+  RngStream algo_rng(sc.seed, kAlgorithmStream);
+  group::ExactChannel::Config ecfg;
+  ecfg.model = sc.model;
+  group::ExactChannel exact(std::move(positive), channel_rng, ecfg);
+  std::optional<LossyChannel> lossy;
+  group::QueryChannel* channel = &exact;
+  if (sc.lossy()) {
+    lossy.emplace(exact, sc.loss_prob, channel_rng);
+    channel = &*lossy;
+  }
+  return spec.run(*channel, participants, algo_rng, {});
+}
+
+}  // namespace
+
+CountingReport metamorphic_count_relabel_check(
+    const core::CountAlgorithmSpec& spec, const Scenario& scenario,
+    NodeId offset, NodeId stride) {
+  CountingReport report;
+  report.scenario = scenario;
+  report.algorithm = spec.name;
+  const auto base = run_count_relabeled(spec, scenario, 0, 1);
+  const auto mapped = run_count_relabeled(spec, scenario, offset, stride);
+  report.outcome = base;
+  if (base.estimate != mapped.estimate) {
+    report.violations.push_back(
+        {Violation::Category::kOutcome,
+         "relabeling ids (offset=" + std::to_string(offset) + ", stride=" +
+             std::to_string(stride) + ") changed the estimate: " +
+             std::to_string(base.estimate) + " vs " +
+             std::to_string(mapped.estimate)});
+  }
+  if (base.queries != mapped.queries) {
+    report.violations.push_back(
+        {Violation::Category::kOutcome,
+         "relabeling ids changed the counting query count: " +
+             std::to_string(base.queries) + " vs " +
+             std::to_string(mapped.queries)});
+  }
+  return report;
 }
 
 void WrongAnswerTally::record(std::string_view algorithm,

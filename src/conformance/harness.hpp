@@ -34,6 +34,11 @@ namespace tcast::conformance {
 double registered_query_bound(std::string_view algorithm, std::size_t n,
                               std::size_t t);
 
+/// The per-run query ceiling of a *counting* estimator (registry name
+/// without the "count:" prefix) on an n-node instance.
+double registered_count_query_bound(std::string_view estimator,
+                                    std::size_t n);
+
 struct ConformanceReport {
   Scenario scenario;
   std::string algorithm;
@@ -80,8 +85,49 @@ ConformanceReport metamorphic_seed_shift_check(
 
 /// True for algorithms whose query count is a pure function of the instance
 /// under the deterministic configuration (everything except the sampling-
-/// hint prob-abns).
+/// hint prob-abns and the count:* adapters, whose estimation phases consume
+/// the RNG on every run).
 bool has_deterministic_counts(std::string_view algorithm);
+
+// --- counting-estimator conformance -------------------------------------
+//
+// The counting portfolio (core/counting) gets the same treatment as the
+// threshold registry: checked runs, a loss-free differential mode, and the
+// M4 metamorphic relation. Statistical (1±ε) acceptance lives in
+// conformance/count_monitor.
+
+struct CountingReport {
+  Scenario scenario;
+  std::string algorithm;  ///< counting-registry name (no "count:" prefix)
+  core::CountOutcome outcome;
+  std::size_t truth = 0;  ///< ground-truth positive count
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Runs counting estimator `spec` on `scenario` (scenario.t is ignored)
+/// under a CheckedChannel and applies check_count_outcome plus the
+/// estimator query bound. All randomness derives from scenario.seed through
+/// the same stream ids as check_algorithm.
+CountingReport check_counting_algorithm(const core::CountAlgorithmSpec& spec,
+                                        const Scenario& scenario);
+
+/// Differential mode for counting: every registered estimator on the exact
+/// (loss-free) version of `scenario`; exact estimators must return ground
+/// truth, and every estimator must prove x = 0 when it holds.
+std::vector<CountingReport> counting_differential_check(
+    const Scenario& scenario);
+
+/// Metamorphic relation M4a: relabeling node IDs through an order-preserving
+/// map must leave a counting estimator's estimate AND query count
+/// bit-identical (sampled inclusion draws one bernoulli per node *index*,
+/// so monotone relabelings are transparent). The distributional-monotonicity
+/// half of M4 (estimates grow with x) is audited by the statistical monitor.
+CountingReport metamorphic_count_relabel_check(
+    const core::CountAlgorithmSpec& spec, const Scenario& scenario,
+    NodeId offset, NodeId stride);
 
 /// Aggregates wrong answers across a conformance sweep: per-algorithm counts
 /// split by direction (false "yes" vs false "no") plus a histogram of the

@@ -37,6 +37,7 @@ ExactCountOutcome run_exact_count(group::QueryChannel& channel,
         // unless it was a singleton.
         ++out.count;
         ++out.identified;
+        out.identified_ids.push_back(result.captured);
         if (hi - lo > 1) {
           // Re-scan the segment minus the captured node: compact it to the
           // front of the range and recurse on the remainder.

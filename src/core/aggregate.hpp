@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <string_view>
+#include <vector>
 
 #include "core/round_engine.hpp"
 
@@ -26,6 +27,7 @@ struct ExactCountOutcome {
   std::size_t count = 0;
   QueryCount queries = 0;
   std::size_t identified = 0;  ///< positives pinned by 2+ captures
+  std::vector<NodeId> identified_ids;  ///< the captured identities themselves
 };
 
 /// Determines the exact number of positives among `participants`.

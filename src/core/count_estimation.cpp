@@ -11,14 +11,19 @@ namespace tcast::core {
 
 namespace {
 
-/// Fraction of `repeats` sampled bins (inclusion q) that answer non-empty.
+/// Fraction of `repeats` sampled bins (inclusion q) that answer non-empty;
+/// 2+ captures along the way are appended to `confirmed`.
 std::size_t count_nonempty(group::QueryChannel& channel,
                            std::span<const NodeId> participants, double q,
-                           std::size_t repeats, RngStream& rng) {
+                           std::size_t repeats, RngStream& rng,
+                           std::vector<NodeId>& confirmed) {
   std::size_t nonempty = 0;
   for (std::size_t i = 0; i < repeats; ++i) {
     const auto bin = group::BinAssignment::sampled(participants, q, rng);
-    if (channel.query_set(bin.bin(0)).nonempty()) ++nonempty;
+    const auto result = channel.query_set(bin.bin(0));
+    if (result.kind == group::BinQueryResult::Kind::kCaptured)
+      confirmed.push_back(result.captured);
+    if (result.nonempty()) ++nonempty;
   }
   return nonempty;
 }
@@ -42,7 +47,12 @@ CountEstimate estimate_positive_count(group::QueryChannel& channel,
   const QueryCount start = channel.queries_used();
 
   // Level 0: the whole set — settles x = 0 exactly and anchors the scan.
-  if (!channel.query_set(participants).nonempty()) {
+  // (On a lossy channel silence proves nothing; the caller owns that gate —
+  // the counting portfolio wrapper clears `exact` when channel.lossy().)
+  const auto anchor = channel.query_set(participants);
+  if (anchor.kind == group::BinQueryResult::Kind::kCaptured)
+    out.confirmed.push_back(anchor.captured);
+  if (!anchor.nonempty()) {
     out.exact = true;
     out.estimate = 0.0;
     out.queries = channel.queries_used() - start;
@@ -57,15 +67,15 @@ CountEstimate estimate_positive_count(group::QueryChannel& channel,
       std::ceil(std::log2(static_cast<double>(participants.size()) + 1)) + 3);
   for (std::size_t level = 0; level < max_levels; ++level) {
     q /= 2.0;
-    const std::size_t hits =
-        count_nonempty(channel, participants, q, opts.probe_repeats, rng);
+    const std::size_t hits = count_nonempty(
+        channel, participants, q, opts.probe_repeats, rng, out.confirmed);
     rate = static_cast<double>(hits) / static_cast<double>(opts.probe_repeats);
     if (rate <= opts.target_high) break;
   }
 
   // Refine at the accepted level.
-  const std::size_t hits =
-      count_nonempty(channel, participants, q, opts.refine_repeats, rng);
+  const std::size_t hits = count_nonempty(
+      channel, participants, q, opts.refine_repeats, rng, out.confirmed);
   out.repeats = opts.refine_repeats;
   out.nonempty = hits;
   out.inclusion_used = q;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "core/round_engine.hpp"
 
@@ -38,6 +39,9 @@ struct CountEstimate {
   double inclusion_used = 1.0;  ///< q of the refining level
   std::size_t nonempty = 0;     ///< non-empty outcomes at that level
   std::size_t repeats = 0;      ///< refining repeats actually made
+  /// Identities decoded by 2+ captures during probing — real positives a
+  /// caller may credit. May contain duplicates; consumers dedupe.
+  std::vector<NodeId> confirmed;
 };
 
 /// Estimates the number of positive nodes among `participants`.

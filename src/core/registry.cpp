@@ -1,6 +1,7 @@
 #include "core/registry.hpp"
 
 #include "core/abns.hpp"
+#include "core/counting.hpp"
 #include "core/exponential_increase.hpp"
 #include "core/oracle.hpp"
 #include "core/probabilistic_abns.hpp"
@@ -58,6 +59,21 @@ const std::vector<AlgorithmSpec>& algorithm_registry() {
             std::size_t t, RngStream& rng, const EngineOptions& opts) {
            return run_probabilistic_abns(ch, nodes, t, rng, {}, opts);
          }});
+    // The counting portfolio, adapted to threshold queries: estimate (or
+    // count exactly), then verify with an exact engine session whose shape
+    // the estimate picks. One registry entry per counting estimator, so the
+    // conformance, fault and chaos harnesses audit all of them for free.
+    for (const auto& counting : counting_registry()) {
+      specs.push_back(
+          {"count:" + counting.name,
+           "threshold-via-count adapter over " + counting.name, false,
+           [name = counting.name](group::QueryChannel& ch,
+                                  std::span<const NodeId> nodes,
+                                  std::size_t t, RngStream& rng,
+                                  const EngineOptions& opts) {
+             return run_threshold_via_count(ch, nodes, t, rng, name, opts);
+           }});
+    }
     specs.push_back(
         {"oracle", "Sec. V-C lower-bound reference (needs ground truth)",
          true,

@@ -5,9 +5,14 @@
 //        accounting) leaves the decision unchanged;
 //   M3 — under the deterministic configuration (contiguous bins, in-order,
 //        1+ exact) seed shifts leave deterministic algorithms bit-identical
-//        and every algorithm's decision unchanged.
+//        and every algorithm's decision unchanged;
+//   M4 — counting estimates are permutation-invariant in the node ids
+//        (relabeling leaves estimate and query count bit-identical) and
+//        monotone in distribution: adding positives never lowers the mean
+//        estimate at fixed seeds.
 #include <gtest/gtest.h>
 
+#include "conformance/count_monitor.hpp"
 #include "conformance/harness.hpp"
 
 namespace tcast::conformance {
@@ -61,6 +66,50 @@ TEST(Metamorphic, ProbAbnsIsClassifiedNondeterministic) {
   EXPECT_FALSE(has_deterministic_counts("prob-abns"));
   EXPECT_TRUE(has_deterministic_counts("2tbins"));
   EXPECT_TRUE(has_deterministic_counts("abns:t"));
+  // The count:* adapters consume estimator RNG, so M3's bit-identical
+  // query-count relation must not apply to them.
+  EXPECT_FALSE(has_deterministic_counts("count:nz-geom"));
+  EXPECT_FALSE(has_deterministic_counts("count:beep-exact"));
+}
+
+TEST(Metamorphic, M4CountEstimatesArePermutationInvariantInNodeIds) {
+  RngStream scenario_rng(0x4e1a, 14);
+  const std::pair<NodeId, NodeId> maps[] = {
+      {100, 1},  // pure shift
+      {0, 3},    // pure stride
+      {17, 5},   // both
+  };
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Scenario sc = random_scenario(scenario_rng, /*allow_lossy=*/true);
+    for (const auto& spec : core::counting_registry()) {
+      for (const auto& [offset, stride] : maps) {
+        const auto report =
+            metamorphic_count_relabel_check(spec, sc, offset, stride);
+        EXPECT_TRUE(report.ok()) << report.summary();
+      }
+    }
+  }
+}
+
+TEST(Metamorphic, M4MeanEstimateIsMonotoneWhenPositivesAreAdded) {
+  // Monotone in distribution, not per-sample: at fixed seeds the mean over
+  // 300 trials must not drop when x grows. A small slack absorbs the
+  // Monte-Carlo noise of the approximate estimators (the exact counter gets
+  // none).
+  constexpr std::size_t kN = 96, kTrials = 300;
+  for (const auto& spec : core::counting_registry()) {
+    double prev_mean = -1.0;
+    std::size_t prev_x = 0;
+    for (const std::size_t x : {0u, 3u, 9u, 24u, 48u, 96u}) {
+      const auto report =
+          measure_count_accuracy(spec, kN, x, kTrials, 0x304 + x);
+      const double slack = spec.exact ? 0.0 : 0.08 * prev_mean;
+      EXPECT_GE(report.mean_estimate, prev_mean - slack)
+          << spec.name << " x " << prev_x << " -> " << x;
+      prev_mean = report.mean_estimate;
+      prev_x = x;
+    }
+  }
 }
 
 }  // namespace

@@ -51,6 +51,48 @@ TEST_P(CountEstimationSweep, MeanEstimateWithinBand) {
 INSTANTIATE_TEST_SUITE_P(TwoDecades, CountEstimationSweep,
                          ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
 
+// Statistical acceptance on an (N, x) grid at fixed seeds: the estimate
+// must land inside the analytic (1±ε) envelope in at least the guaranteed
+// fraction of trials.
+//
+// Envelope derivation. The refining level observes p̂, the non-empty
+// fraction over R = refine_repeats (30) draws of p = 1 − (1−q)^x with the
+// acceptance rule pinning p into ≈ [0.25, 0.65]. Hoeffding:
+// P(|p̂−p| ≥ γ) ≤ 2·exp(−2Rγ²), so γ = sqrt(ln(2/δ)/(2R)) ≈ 0.223 at
+// δ = 0.1. The inversion x̂ = ln(1−p̂)/ln(1−q) amplifies that by
+// |dx̂/dp̂|·p̂→rel ≤ 1/min_p (1−p)·ln(1/(1−p)) ≈ 1/0.216 ≈ 4.6 over the
+// accepted p-range, giving |x̂−x| ≤ 4.6·0.223·x ≈ 1.0·x with probability
+// ≥ 1 − δ. So the claim audited here is ε = 1.0, δ = 0.1 (the empirical
+// error is far tighter, ≈ ±23% mean — see CountEstimationSweep).
+//
+// Test tolerance. Over T fixed-seed trials the within-band count is
+// Binomial(T, p≥1−δ); three sigmas of slack,
+// floor = 1 − δ − 3·sqrt(δ(1−δ)/T), holds a correct estimator's per-cell
+// false-alarm rate under ≈ 1.3e-3.
+TEST(CountEstimation, StatisticalAcceptanceOnTheGrid) {
+  constexpr double kEps = 1.0, kDelta = 0.1;
+  constexpr std::size_t kTrials = 300;
+  const double floor =
+      1.0 - kDelta - 3.0 * std::sqrt(kDelta * (1.0 - kDelta) / kTrials);
+  for (const std::size_t n : {256u, 1024u}) {
+    for (const std::size_t x : {8u, 32u, 128u}) {
+      MonteCarloConfig mc;
+      mc.trials = kTrials;
+      mc.experiment_id = 9500 + n + x;
+      const auto within = run_trials(mc, [n, x](RngStream& rng) {
+        auto ch = ExactChannel::with_random_positives(n, x, rng);
+        const double est =
+            estimate_positive_count(ch, ch.all_nodes(), rng).estimate;
+        return std::abs(est - static_cast<double>(x)) <=
+                       kEps * static_cast<double>(x)
+                   ? 1.0
+                   : 0.0;
+      });
+      EXPECT_GE(within.mean(), floor) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
 TEST(CountEstimation, FullSetEstimatesHigh) {
   RngStream rng(3);
   auto ch = ExactChannel::with_random_positives(64, 64, rng);

@@ -8,6 +8,8 @@
 //   chaos_campaign --sessions 64 --shrink         # nightly campaign
 //   chaos_campaign --counting --sessions 32       # counting-portfolio
 //                                                 # preset (nightly)
+//   chaos_campaign --service --sessions 16        # daemon-level campaign
+//                                                 # (src/service/chaos.hpp)
 //   chaos_campaign --unsafe-gate --shrink --emit-stanza
 //                                                 # demo: catch + minimize
 //                                                 # the known gate hole
@@ -25,6 +27,7 @@
 #include "chaos/chaos_engine.hpp"
 #include "chaos/shrinker.hpp"
 #include "core/registry.hpp"
+#include "service/chaos.hpp"
 
 namespace {
 
@@ -34,6 +37,8 @@ struct Options {
   std::string tiers = "exact,packet";
   std::string algos;  ///< comma-separated registry names; empty = all
   bool counting = false;
+  bool service = false;
+  std::size_t service_ops = 400;
   bool unsafe_gate = false;
   bool shrink = false;
   bool emit_stanza = false;
@@ -44,12 +49,18 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sessions N] [--seed S] [--tiers exact,packet]\n"
                "          [--algos NAME,NAME,...] [--counting]\n"
+               "          [--service] [--ops N]\n"
                "          [--unsafe-gate] [--shrink] [--emit-stanza]\n"
                "          [--out-dir DIR]\n"
                "  --algos    restrict the campaign to the named registry\n"
                "             algorithms (default: every non-oracle entry)\n"
                "  --counting use the counting-portfolio preset: all count:*\n"
-               "             adapters over the loss/crash plan axis\n",
+               "             adapters over the loss/crash plan axis\n"
+               "  --service  attack the tcastd service tier instead: one\n"
+               "             seeded op-script campaign per session (kill/\n"
+               "             reboot/overload/deadline ops); failing scripts\n"
+               "             are ddmin-shrunk and written to --out-dir\n"
+               "  --ops      ops per service campaign (default 400)\n",
                argv0);
 }
 
@@ -77,6 +88,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.algos = v;
     } else if (arg == "--counting") {
       opts.counting = true;
+    } else if (arg == "--service") {
+      opts.service = true;
+    } else if (arg == "--ops") {
+      const char* v = next();
+      if (!v) return false;
+      opts.service_ops =
+          static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--unsafe-gate") {
       opts.unsafe_gate = true;
     } else if (arg == "--shrink") {
@@ -102,6 +120,41 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) {
     usage(argv[0]);
     return 2;
+  }
+
+  if (opts.service) {
+    // Daemon-level campaign: each session is an independent seeded op
+    // script replayed against a fresh TcastService under a ManualClock
+    // (src/service/chaos.hpp). run_service_campaign already shrinks
+    // failing scripts with ddmin; here we just fan seeds out and persist
+    // the minimized traces.
+    std::size_t failing_sessions = 0;
+    for (std::size_t s = 0; s < opts.sessions; ++s) {
+      service::ServiceCampaignConfig scfg;
+      scfg.seed = opts.seed + s;
+      scfg.ops = opts.service_ops;
+      const auto result = service::run_service_campaign(scfg);
+      std::printf("service campaign seed %llu: %s\n",
+                  static_cast<unsigned long long>(scfg.seed),
+                  result.report.summary().c_str());
+      if (result.report.ok()) continue;
+      ++failing_sessions;
+      for (const auto& failure : result.report.failures)
+        std::printf("  breach: %s\n", failure.c_str());
+      if (!result.minimized.empty()) {
+        std::printf("  minimized to %zu ops\n", result.minimized.size());
+        if (!opts.out_dir.empty()) {
+          const auto path = opts.out_dir + "/service_reproducer_seed" +
+                            std::to_string(scfg.seed) + ".trace";
+          std::ofstream out(path);
+          out << "# replay: run_service_ops(parse_trace(...), cfg) with "
+                 "seed="
+              << scfg.seed << " ops=" << opts.service_ops << "\n"
+              << service::encode_trace(result.minimized);
+        }
+      }
+    }
+    return failing_sessions == 0 ? 0 : 1;
   }
 
   chaos::CampaignConfig cfg;

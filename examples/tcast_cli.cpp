@@ -3,26 +3,38 @@
 //   tcast_cli [--algo NAME] [--n N] [--x X] [--t T] [--model 1+|2+]
 //             [--trials K] [--seed S] [--tier exact|packet] [--list]
 //             [--fault-plan SPEC] [--fault-seed S] [--retry SPEC]
-//             [--verbose]
+//             [--deadline-ms D] [--max-retries R] [--verbose]
 //
 // Examples:
 //   tcast_cli --list
 //   tcast_cli --algo 2tbins --n 128 --x 20 --t 16 --trials 1000
 //   tcast_cli --algo prob-abns --n 32 --x 12 --t 8 --model 2+
 //   tcast_cli --tier packet --n 12 --x 5 --t 4     # full radio emulation
-//   tcast_cli --n 24 --x 8 --t 8 --fault-plan ge=0.02:0.25:0:0.7 \
+//   tcast_cli --n 24 --x 8 --t 8 --fault-plan ge=0.02:0.25:0:0.7
 //             --retry fixed:3 --verbose            # loss-robustness sweep
+//   tcast_cli --tier packet --n 64 --x 20 --t 16 --deadline-ms 5
+//             --max-retries 3                      # deadline + backoff
+//
+// --deadline-ms arms the same QueryCancelToken the tcastd service uses:
+// a trial whose wall-clock budget expires mid-run is cancelled between
+// queries (never a fabricated verdict) and, with --max-retries > 0,
+// retried under jittered exponential backoff (service/backoff.hpp).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "common/monte_carlo.hpp"
 #include "core/registry.hpp"
 #include "faults/faulty_channel.hpp"
 #include "group/exact_channel.hpp"
 #include "group/packet_channel.hpp"
+#include "service/backoff.hpp"
+#include "service/shard.hpp"
 
 namespace {
 
@@ -41,6 +53,8 @@ struct CliOptions {
   std::optional<tcast::faults::FaultPlan> fault_plan;
   std::uint64_t fault_seed = 1;
   tcast::core::RetryPolicy retry;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no per-trial deadline
+  std::size_t max_retries = 0;   ///< deadline-expired retry budget
   bool ok = true;
 };
 
@@ -92,6 +106,10 @@ CliOptions parse(int argc, char** argv) {
       } else {
         o.retry = *policy;
       }
+    } else if (arg == "--deadline-ms") {
+      if (const char* v = next()) o.deadline_ms = std::stoull(v);
+    } else if (arg == "--max-retries") {
+      if (const char* v = next()) o.max_retries = std::stoul(v);
     } else if (arg == "--model") {
       const char* v = next();
       if (v && std::strcmp(v, "2+") == 0)
@@ -141,6 +159,9 @@ int main(int argc, char** argv) {
   Proportion correct;
   std::size_t false_yes = 0, false_no = 0, faults_injected = 0,
               faults_seen = 0;
+  std::size_t deadline_hits = 0, deadline_retries = 0,
+              deadline_unresolved = 0;
+  RngStream backoff_rng(opts.seed, 0xbac0ff);
   // Per-node crash census across all trials: crashes, reboots, and how
   // many trials ended with the node still down.
   struct NodeCensus {
@@ -179,6 +200,32 @@ int main(int argc, char** argv) {
       return out;
     };
 
+    // Deadline + backoff wrapper: the same QueryCancelToken/BackoffPolicy
+    // plumbing tcastd uses, driven from the CLI.
+    static std::atomic<bool> never_killed{false};
+    const auto run_with_deadline = [&](group::QueryChannel& base,
+                                       std::span<const NodeId> nodes) {
+      if (opts.deadline_ms == 0) return run_on(base, nodes);
+      const auto& clock = service::RealClock::instance();
+      service::BackoffPolicy backoff;
+      backoff.max_retries = opts.max_retries;
+      std::size_t attempt = 0;
+      for (;;) {
+        const service::QueryCancelToken token(
+            clock, clock.now_us() + opts.deadline_ms * 1000, never_killed);
+        eopts.cancel = &token;
+        const auto out = run_on(base, nodes);
+        eopts.cancel = nullptr;
+        if (!out.cancelled) return out;
+        ++deadline_hits;
+        if (attempt >= backoff.max_retries) return out;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            backoff.delay_ms(attempt, 0, backoff_rng)));
+        ++attempt;
+        ++deadline_retries;
+      }
+    };
+
     core::ThresholdOutcome out;
     if (opts.packet_tier) {
       std::vector<bool> positive(opts.n, false);
@@ -189,14 +236,21 @@ int main(int argc, char** argv) {
       cfg.seed = mc.seed + trial;
       group::PacketChannel channel(positive, cfg);
       eopts.ordering = core::BinOrdering::kInOrder;
-      out = run_on(channel, channel.all_nodes());
+      out = run_with_deadline(channel, channel.all_nodes());
     } else {
       group::ExactChannel::Config cfg;
       cfg.model = opts.model;
       auto channel = group::ExactChannel::with_random_positives(
           opts.n, opts.x, rng, cfg);
       if (opts.fault_plan) eopts.ordering = core::BinOrdering::kInOrder;
-      out = run_on(channel, channel.all_nodes());
+      out = run_with_deadline(channel, channel.all_nodes());
+    }
+    if (out.cancelled) {
+      // The retry budget is spent and the trial never reached a verdict:
+      // report it as unresolved, never as a (meaningless) decision.
+      ++deadline_unresolved;
+      queries.add(static_cast<double>(out.queries));
+      continue;
     }
     queries.add(static_cast<double>(out.queries));
     rounds.add(static_cast<double>(out.rounds));
@@ -218,6 +272,13 @@ int main(int argc, char** argv) {
   std::printf("accuracy  : %.2f%% (%zu/%zu correct)\n",
               100.0 * correct.value(), correct.successes(),
               correct.trials());
+  if (opts.deadline_ms > 0) {
+    std::printf(
+        "deadline  : %llums budget; %zu expirations, %zu backoff retries, "
+        "%zu trials unresolved\n",
+        static_cast<unsigned long long>(opts.deadline_ms), deadline_hits,
+        deadline_retries, deadline_unresolved);
+  }
   if (opts.fault_plan) {
     std::printf("faults    : plan=%s retry=%s\n",
                 opts.fault_plan->spec().c_str(), opts.retry.spec().c_str());

@@ -46,6 +46,10 @@ void dedupe(std::vector<NodeId>& ids) {
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
+bool cancel_tripped(const CountOptions& opts) {
+  return opts.engine.cancel != nullptr && opts.engine.cancel->cancelled();
+}
+
 }  // namespace
 
 CountOutcome run_newport_zheng_count(group::QueryChannel& channel,
@@ -85,9 +89,15 @@ CountOutcome run_newport_zheng_count(group::QueryChannel& channel,
   for (; level < max_levels; ++level) {
     q /= 2.0;
     std::size_t silent = 0;
-    for (std::size_t r = 0; r < kScanProbes; ++r)
+    for (std::size_t r = 0; r < kScanProbes; ++r) {
+      if (cancel_tripped(opts)) {
+        out.cancelled = true;
+        out.queries = channel.queries_used() - start;
+        return out;
+      }
       if (!probe(channel, participants, q, rng, out.confirmed).nonempty())
         ++silent;
+    }
     ++out.rounds;
     if (2 * silent >= kScanProbes) break;
   }
@@ -100,9 +110,15 @@ CountOutcome run_newport_zheng_count(group::QueryChannel& channel,
       std::clamp(1.0 - std::exp2(-1.0 / rough), 1e-9, 1.0 - 1e-9);
   const std::size_t repeats = refinement_repeats(opts.epsilon, opts.delta);
   std::size_t silent = 0;
-  for (std::size_t r = 0; r < repeats; ++r)
+  for (std::size_t r = 0; r < repeats; ++r) {
+    if (cancel_tripped(opts)) {
+      out.cancelled = true;
+      out.queries = channel.queries_used() - start;
+      return out;
+    }
     if (!probe(channel, participants, qstar, rng, out.confirmed).nonempty())
       ++silent;
+  }
   ++out.rounds;
 
   const double shat =
@@ -226,6 +242,16 @@ ThresholdOutcome run_threshold_via_count(group::QueryChannel& channel,
   copts.engine = opts;
   auto count = cspec->run(channel, participants, rng, copts);
   dedupe(count.confirmed);
+
+  // A cancelled estimation (or a token that tripped during an estimator
+  // that does not poll it) must not flow into a verdict.
+  if (count.cancelled ||
+      (opts.cancel != nullptr && opts.cancel->cancelled())) {
+    out.cancelled = true;
+    out.queries = channel.queries_used() - start;
+    out.rounds = count.rounds;
+    return out;
+  }
 
   if (count.exact && !channel.lossy()) {
     // A proven count answers the threshold directly.

@@ -68,6 +68,9 @@ struct CountOutcome {
   bool exact = false;
   QueryCount queries = 0;
   std::size_t rounds = 0;  ///< estimation levels / splitting depth entered
+  /// Estimation was cancelled (CountOptions::engine.cancel tripped) before
+  /// the estimator finished; estimate/confidence are meaningless.
+  bool cancelled = false;
   /// Identities decoded during estimation (2+ captures) — real positives
   /// the adapter credits against the threshold and excludes from its
   /// verification session, exactly like the prob-abns hint. May contain

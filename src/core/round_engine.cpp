@@ -108,6 +108,15 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
     out.remaining_candidates = alive_count;
     return out;
   };
+  // Cancellation is polled before every query (the engine's unit of work),
+  // so a blown deadline aborts mid-round without fabricating a verdict.
+  const auto cancelled = [&] {
+    return opts_.cancel != nullptr && opts_.cancel->cancelled();
+  };
+  const auto cancel_finish = [&](std::size_t alive_count) {
+    out.cancelled = true;
+    return finish(false, alive_count);
+  };
 
   if (threshold == 0) return finish(true, participants.size());
   if (participants.size() < threshold) return finish(false, participants.size());
@@ -183,6 +192,7 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
     std::size_t round_lb = 0;  // positives certified by this round's bins
 
     for (const std::size_t idx : order_) {
+      if (cancelled()) return cancel_finish(alive_count);
       auto result = channel_->query_bin(assignment, idx);
       ++stats.bins_queried;
       if (result.kind == group::BinQueryResult::Kind::kEmpty &&
@@ -192,6 +202,7 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
         ++empties_observed;
         const std::size_t budget = retry_budget();
         for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+          if (cancelled()) return cancel_finish(alive_count);
           ++out.retries;
           const auto again = channel_->query_bin(assignment, idx);
           if (again.kind != group::BinQueryResult::Kind::kEmpty) {

@@ -20,6 +20,7 @@
 // which reduces exactly to Alg. 1 lines 11/14 in the 1+ model.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <span>
 #include <string>
@@ -83,6 +84,32 @@ struct RetryPolicy {
   bool operator==(const RetryPolicy&) const = default;
 };
 
+/// Cooperative cancellation, polled by the engine at query granularity.
+/// The service tier arms one per query with a wall-clock deadline (and a
+/// shard-kill flag); tests use FlagCancelToken to trip it deterministically
+/// after an exact number of queries. A cancelled run never fabricates a
+/// verdict: ThresholdOutcome::cancelled is set and `decision` is
+/// meaningless (callers map it to a typed kDeadlineExceeded/kShardDown).
+class CancelToken {
+ public:
+  virtual ~CancelToken() = default;
+  virtual bool cancelled() const = 0;
+};
+
+/// Manually-tripped token (thread-safe); the deterministic test vehicle and
+/// the shard-kill signal.
+class FlagCancelToken final : public CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_release); }
+  void reset() { flag_.store(false, std::memory_order_release); }
+  bool cancelled() const override {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 struct EngineOptions {
   BinOrdering ordering = BinOrdering::kNonEmptyFirst;
   BinningScheme scheme = BinningScheme::kRandomEqual;
@@ -103,6 +130,10 @@ struct EngineOptions {
   bool unsafe_counts_two_despite_loss = false;
   /// Safety valve; no exact algorithm comes near this (tests assert so).
   std::size_t max_rounds = 10'000;
+  /// Cooperative cancellation (deadlines, shard kill). Polled before every
+  /// query the engine issues; nullptr = never cancelled. Borrowed — must
+  /// outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 struct ThresholdOutcome {
@@ -117,6 +148,10 @@ struct ThresholdOutcome {
   /// Silent bins contradicted by a re-query — each is direct evidence of a
   /// lost reply the unguarded engine would have turned into a disposal.
   std::size_t faults_seen = 0;
+  /// The run was cancelled (EngineOptions::cancel tripped) before reaching a
+  /// verdict; `decision` is meaningless and must not be trusted. Queries,
+  /// rounds and confirmed counts reflect work done up to the cancellation.
+  bool cancelled = false;
 };
 
 /// What a policy sees after each completed (not early-terminated) round.

@@ -94,7 +94,7 @@ JsonValue BenchResult::to_json() const {
       {"cpu_median_s", timing.cpu_median_s},
       {"cpu_mad_s", timing.cpu_mad_s},
   };
-  return JsonValue(JsonValue::Object{
+  JsonValue::Object obj{
       {"name", name},
       {"unit", unit},
       {"params", std::move(params_obj)},
@@ -103,7 +103,13 @@ JsonValue BenchResult::to_json() const {
       {"stats", std::move(stats)},
       {"items_per_s", items_per_s()},
       {"items_per_s_best", items_per_s_best()},
-  });
+  };
+  if (!percentiles.empty()) {
+    JsonValue::Object pct;
+    for (const auto& [k, v] : percentiles) pct.emplace(k, v);
+    obj.emplace("percentiles", std::move(pct));
+  }
+  return JsonValue(std::move(obj));
 }
 
 namespace {
@@ -145,6 +151,11 @@ std::optional<BenchResult> BenchResult::from_json(const JsonValue& v) {
       params != nullptr && params->is_object()) {
     for (const auto& [k, pv] : params->as_object())
       if (pv.is_number()) r.params.emplace(k, pv.as_number());
+  }
+  if (const JsonValue* pct = v.find("percentiles");
+      pct != nullptr && pct->is_object()) {
+    for (const auto& [k, pv] : pct->as_object())
+      if (pv.is_number()) r.percentiles.emplace(k, pv.as_number());
   }
   return r;
 }

@@ -63,6 +63,12 @@ struct BenchResult {
   std::map<std::string, double> params;  ///< workload parameters (n, trials…)
   std::uint64_t items = 0;               ///< items processed per repetition
   Summary timing;
+  /// Optional latency-distribution entries ("p50_us", "p99_us", "p999_us",
+  /// ...) for service/load-rig benchmarks where tail latency — not
+  /// throughput — is the gated quantity (tools/compare_bench.py treats
+  /// these inversely: larger is a regression). Empty for throughput-only
+  /// benchmarks; round-trips through BENCH_tcast.json untouched.
+  std::map<std::string, double> percentiles;
 
   /// Throughput at the median repetition (the headline number).
   double items_per_s() const;

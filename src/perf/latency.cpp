@@ -1,0 +1,72 @@
+#include "perf/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcast::perf {
+
+double percentile_of(std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return static_cast<double>(samples.front());
+  if (q >= 1.0) return static_cast<double>(samples.back());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double a = static_cast<double>(samples[lo]);
+  const double b = static_cast<double>(samples[std::min(lo + 1, samples.size() - 1)]);
+  return a + (b - a) * frac;
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t max_samples)
+    : cap_(std::max<std::size_t>(max_samples, 2)) {
+  samples_.reserve(cap_);
+}
+
+void LatencyRecorder::record(std::uint64_t value_us) {
+  if (count_ == 0) {
+    min_ = max_ = value_us;
+  } else {
+    min_ = std::min(min_, value_us);
+    max_ = std::max(max_, value_us);
+  }
+  sum_ += static_cast<double>(value_us);
+  if (count_ % stride_ == 0) {
+    if (samples_.size() == cap_) {
+      // Compact: keep every other retained point, double the stride. The
+      // survivors stay evenly spaced over the observation sequence.
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < samples_.size(); r += 2) samples_[w++] = samples_[r];
+      samples_.resize(w);
+      stride_ *= 2;
+      if (count_ % stride_ == 0) samples_.push_back(value_us);
+    } else {
+      samples_.push_back(value_us);
+    }
+  }
+  ++count_;
+}
+
+PercentileSummary LatencyRecorder::summarize() const {
+  PercentileSummary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.min = min_;
+  s.max = max_;
+  s.mean = sum_ / static_cast<double>(count_);
+  s.p50 = percentile_of(samples_, 0.50);
+  s.p90 = percentile_of(samples_, 0.90);
+  s.p99 = percentile_of(samples_, 0.99);
+  s.p999 = percentile_of(samples_, 0.999);
+  return s;
+}
+
+void LatencyRecorder::reset() {
+  stride_ = 1;
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+  samples_.clear();
+}
+
+}  // namespace tcast::perf

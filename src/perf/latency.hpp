@@ -1,0 +1,58 @@
+// Latency percentile recording for the service tier and the load rigs.
+//
+// Tail latency (p99/p999) is the service's robustness currency: a mean
+// hides exactly the overload behaviour the tcastd PR is about. The
+// recorder keeps min/max/mean exactly over every sample and a bounded
+// systematic sample (stride-doubling decimation: when the buffer fills,
+// drop every other retained sample and double the keep-stride) for the
+// percentiles — memory stays O(cap) over arbitrarily long runs while the
+// retained points remain uniformly spaced over the sample sequence, so
+// quantile estimates stay unbiased for stationary streams.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcast::perf {
+
+struct PercentileSummary {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Quantile q in [0, 1] of an UNSORTED sample set by nearest-rank with
+/// linear interpolation; 0 for an empty set. Copies + sorts internally.
+double percentile_of(std::vector<std::uint64_t> samples, double q);
+
+class LatencyRecorder {
+ public:
+  /// `max_samples` bounds the retained sample buffer (>= 2).
+  explicit LatencyRecorder(std::size_t max_samples = 1 << 16);
+
+  void record(std::uint64_t value_us);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Percentiles from the retained sample, exact min/max/mean/count.
+  PercentileSummary summarize() const;
+
+  void reset();
+
+ private:
+  std::size_t cap_;
+  std::uint64_t stride_ = 1;  ///< keep every stride-th observation
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+  std::vector<std::uint64_t> samples_;
+};
+
+}  // namespace tcast::perf

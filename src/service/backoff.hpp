@@ -1,0 +1,40 @@
+// Client-side retry policy: exponential backoff with full jitter, honoring
+// the server's retry-after hints.
+//
+// The hint is a floor, not the answer: the server knows its backlog (the
+// hint is backlog × EWMA service time) but not how many clients just got
+// the same hint, so the client still multiplies out its own exponential
+// schedule and jitters the result — synchronized retry storms are the
+// classic way a recovering server gets re-killed. Shared by tcast_client,
+// the tcast_cli --max-retries path, and the open-loop bench rig.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "service/status.hpp"
+
+namespace tcast::service {
+
+struct BackoffPolicy {
+  std::uint64_t base_ms = 2;
+  double multiplier = 2.0;
+  std::uint64_t max_ms = 2000;
+  /// Jitter factor in [0, 1]: the delay is drawn uniformly from
+  /// [(1 - jitter) * d, d] ("equal jitter" at 0.5, full jitter at 1).
+  double jitter = 0.5;
+  std::size_t max_retries = 4;
+
+  /// Whether `status` merits attempt number `attempt` (0-based count of
+  /// retries already made).
+  bool should_retry(StatusCode status, std::size_t attempt) const {
+    return attempt < max_retries && is_retryable(status);
+  }
+
+  /// Delay before retry number `attempt` (0-based), combining the
+  /// exponential schedule with the server's hint (0 = no hint) and jitter.
+  std::uint64_t delay_ms(std::size_t attempt, std::uint64_t retry_after_hint,
+                         RngStream& rng) const;
+};
+
+}  // namespace tcast::service

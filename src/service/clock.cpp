@@ -1,0 +1,19 @@
+#include "service/clock.hpp"
+
+#include <chrono>
+
+namespace tcast::service {
+
+TimeUs RealClock::now_us() const {
+  return static_cast<TimeUs>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const RealClock& RealClock::instance() {
+  static const RealClock clock;
+  return clock;
+}
+
+}  // namespace tcast::service

@@ -1,0 +1,32 @@
+#include "service/plan_cache.hpp"
+
+namespace tcast::service {
+
+std::optional<PlanEntry> PlanCache::lookup(const PlanKey& key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::insert(const PlanKey& key, PlanEntry entry) {
+  if (capacity_ == 0) return;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, entry);
+  map_.emplace(key, lru_.begin());
+}
+
+}  // namespace tcast::service

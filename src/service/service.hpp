@@ -1,0 +1,97 @@
+// TcastService: the in-process core of tcastd.
+//
+// Populations are sharded by FNV-1a of their name across S shards; every
+// shard is drained through ThreadPool::run_batch — one batch slot per
+// shard per pump — so shard execution is parallel across shards, serial
+// within one (which is what lets the shard's population/plan-cache state
+// go lock-free). The daemon (server.hpp) runs pump() on a dedicated
+// thread; deterministic tests call pump() by hand under a ManualClock, so
+// "the deadline expired while queued" and "the shard died mid-round" are
+// scripted events, not races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "service/clock.hpp"
+#include "service/protocol.hpp"
+#include "service/shard.hpp"
+
+namespace tcast::service {
+
+struct ServiceConfig {
+  std::size_t shards = 4;
+  std::size_t queue_capacity = 64;
+  std::size_t degrade_enter = 32;
+  std::size_t degrade_exit = 8;
+  std::size_t batch_max = 8;
+  std::string degrade_estimator = "nz-geom";
+  bool checked = false;
+  std::size_t plan_cache_capacity = 64;
+  std::size_t max_population = 1 << 16;
+  const Clock* clock = &RealClock::instance();
+  /// Worker pool for pump(); nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+class TcastService {
+ public:
+  using Callback = std::function<void(const Response&)>;
+
+  explicit TcastService(ServiceConfig cfg);
+  ~TcastService();
+
+  TcastService(const TcastService&) = delete;
+  TcastService& operator=(const TcastService&) = delete;
+
+  /// Routes and (for control verbs) resolves a request. The callback fires
+  /// exactly once for every submitted request — possibly synchronously
+  /// (ping/stats/rejections), possibly from a later pump.
+  void submit(Request req, Callback cb);
+
+  /// Drains every shard one batch; parallel across shards via the pool.
+  void pump();
+
+  /// pump() repeatedly until every queue is empty (flushes killed /
+  /// shutting-down shards too — nothing is left hanging).
+  void drain_all();
+
+  /// Background pump thread for daemon use; idles briefly when no work.
+  void start_pump_thread();
+  void stop_pump_thread();
+
+  /// Chaos / admin access.
+  std::size_t shard_count() const { return shards_.size(); }
+  Shard& shard(std::size_t i) { return *shards_[i]; }
+  std::size_t shard_of(std::string_view population) const;
+
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
+  std::size_t total_queue_depth() const;
+  std::vector<ShardStats> stats() const;
+  /// Multi-line human/CLI-readable stats (the `stats` verb payload).
+  std::string stats_text() const;
+
+ private:
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> shutting_down_{false};
+
+  mutable std::mutex names_mu_;
+  std::set<std::string> population_names_;
+
+  std::thread pump_thread_;
+  std::atomic<bool> pump_stop_{false};
+};
+
+}  // namespace tcast::service

@@ -1,0 +1,459 @@
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "conformance/checked_channel.hpp"
+#include "core/abns.hpp"
+#include "core/counting.hpp"
+#include "core/registry.hpp"
+#include "group/exact_channel.hpp"
+#include "group/packet_channel.hpp"
+
+namespace tcast::service {
+namespace {
+
+bool is_abns_family(std::string_view algo) {
+  return algo == "abns:t" || algo == "abns:2t";
+}
+
+/// Analytic first-round bin count for the plan cache's informational field.
+std::size_t analytic_initial_bins(std::string_view algo, std::size_t n,
+                                  std::size_t t, double p0) {
+  if (is_abns_family(algo)) return static_cast<std::size_t>(p0) + 1;
+  if (algo == "2tbins") return std::min(2 * t, n);
+  if (algo.starts_with("expinc")) return 2;
+  return 0;
+}
+
+}  // namespace
+
+Shard::Shard(ShardConfig cfg)
+    : cfg_(std::move(cfg)), plans_(cfg_.plan_cache_capacity) {}
+
+void Shard::submit(Request req, Callback cb) {
+  const TimeUs now = cfg_.clock->now_us();
+  Response reject;
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      reject.status = StatusCode::kShuttingDown;
+      rejected = true;
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      ++rejected_overload_;
+      reject.status = StatusCode::kOverloaded;
+      reject.retry_after_ms = retry_after_ms_locked(queue_.size());
+      rejected = true;
+    } else {
+      ++admitted_;
+      Job job;
+      job.req = std::move(req);
+      job.cb = std::move(cb);
+      job.admit_us = now;
+      job.deadline_us = job.req.deadline_ms > 0
+                            ? now + job.req.deadline_ms * 1000
+                            : kNoDeadline;
+      queue_.push_back(std::move(job));
+      update_degraded(queue_.size());
+    }
+  }
+  if (rejected) {
+    reject.shard = cfg_.index;
+    cb(reject);
+  }
+}
+
+void Shard::drain() {
+  for (std::size_t i = 0; i < cfg_.batch_max; ++i) {
+    Job job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    Response resp;
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      resp.status = StatusCode::kShuttingDown;
+      resp.message = "service stopping; queued request flushed";
+    } else if (killed_.load(std::memory_order_acquire)) {
+      resp.status = StatusCode::kShardDown;
+      resp.message = "shard killed while request was queued";
+      resp.retry_after_ms = 1;
+    } else if (job.req.kind == RequestKind::kQuery &&
+               cfg_.clock->now_us() >= job.deadline_us) {
+      // Load shedding: the deadline expired in the queue; resolving it now
+      // without engine work frees capacity for requests that can still win.
+      resp.status = StatusCode::kDeadlineExceeded;
+      resp.message = "deadline expired while queued";
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++shed_deadline_;
+      }
+    } else {
+      resp = execute(job);
+    }
+    finish(job, std::move(resp));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  update_degraded(queue_.size());
+}
+
+void Shard::kill() { killed_.store(true, std::memory_order_release); }
+
+void Shard::reboot() { killed_.store(false, std::memory_order_release); }
+
+void Shard::shutdown() {
+  shutting_down_.store(true, std::memory_order_release);
+}
+
+std::size_t Shard::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ShardStats Shard::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ShardStats s;
+  s.index = cfg_.index;
+  s.queue_depth = queue_.size();
+  s.degraded = degraded_.load(std::memory_order_acquire);
+  s.killed = killed_.load(std::memory_order_acquire);
+  s.admitted = admitted_;
+  s.rejected_overload = rejected_overload_;
+  s.shed_deadline = shed_deadline_;
+  s.cancelled_deadline = cancelled_deadline_;
+  s.cancelled_kill = cancelled_kill_;
+  s.completed_exact = completed_exact_;
+  s.completed_approx = completed_approx_;
+  s.degrade_entries = degrade_entries_;
+  s.errors = errors_;
+  s.conformance_violations = conformance_violations_;
+  s.plan_hits = plans_.hits();
+  s.plan_misses = plans_.misses();
+  s.populations = populations_.size();
+  s.ewma_service_us = ewma_service_us_;
+  s.latency = latency_.summarize();
+  return s;
+}
+
+void Shard::finish(const Job& job, Response resp) {
+  const TimeUs now = cfg_.clock->now_us();
+  resp.shard = cfg_.index;
+  resp.latency_us = now >= job.admit_us ? now - job.admit_us : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (resp.status) {
+      case StatusCode::kOk:
+        if (job.req.kind == RequestKind::kQuery) {
+          if (resp.mode == AnswerMode::kApproximate) {
+            ++completed_approx_;
+          } else {
+            ++completed_exact_;
+          }
+          latency_.record(resp.latency_us);
+          // EWMA of end-to-end service time sizes the retry-after hint.
+          const double sample = static_cast<double>(resp.latency_us);
+          ewma_service_us_ = ewma_service_us_ == 0.0
+                                 ? sample
+                                 : 0.8 * ewma_service_us_ + 0.2 * sample;
+        }
+        break;
+      case StatusCode::kDeadlineExceeded:
+        // Queue sheds were already counted at the shed site; anything else
+        // arriving here tripped mid-run.
+        if (resp.message != "deadline expired while queued")
+          ++cancelled_deadline_;
+        break;
+      case StatusCode::kShardDown:
+        ++cancelled_kill_;
+        break;
+      case StatusCode::kOverloaded:
+      case StatusCode::kShuttingDown:
+      case StatusCode::kNotFound:
+      case StatusCode::kInvalidArgument:
+        ++errors_;
+        break;
+    }
+  }
+  job.cb(resp);
+}
+
+void Shard::update_degraded(std::size_t depth) {
+  // Caller holds mu_ (degrade_entries_). Hysteresis: flip on at
+  // degrade_enter, off only once the backlog drains to degrade_exit.
+  if (!degraded_.load(std::memory_order_relaxed)) {
+    if (depth >= cfg_.degrade_enter) {
+      degraded_.store(true, std::memory_order_release);
+      ++degrade_entries_;
+    }
+  } else if (depth <= cfg_.degrade_exit) {
+    degraded_.store(false, std::memory_order_release);
+  }
+}
+
+std::uint64_t Shard::retry_after_ms_locked(std::size_t depth) const {
+  // Expected wait ≈ backlog × EWMA service time; floor at 1ms so a hint is
+  // always a real backoff.
+  const double est_ms =
+      static_cast<double>(depth) * ewma_service_us_ / 1000.0;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(est_ms));
+}
+
+Response Shard::execute(const Job& job) {
+  switch (job.req.kind) {
+    case RequestKind::kLoad:
+      return do_load(job.req);
+    case RequestKind::kDrop:
+      return do_drop(job.req);
+    case RequestKind::kQuery:
+      return do_query(job);
+    default: {
+      Response resp;
+      resp.status = StatusCode::kInvalidArgument;
+      resp.message = "request kind not handled by shards";
+      return resp;
+    }
+  }
+}
+
+Response Shard::do_load(const Request& req) {
+  Response resp;
+  if (req.n == 0 || req.n > cfg_.max_population || req.x > req.n) {
+    resp.status = StatusCode::kInvalidArgument;
+    resp.message = "load requires 0 < n <= " +
+                   std::to_string(cfg_.max_population) + " and x <= n";
+    return resp;
+  }
+
+  Population pop;
+  pop.n = req.n;
+  pop.x = req.x;
+  pop.tier = req.tier;
+  pop.model = req.model;
+  pop.seed = req.seed;
+  pop.nodes.resize(req.n);
+  for (std::size_t i = 0; i < req.n; ++i)
+    pop.nodes[i] = static_cast<NodeId>(i);
+
+  // Stream split: 0 = ground-truth draw, 1 = channel-internal randomness
+  // (capture draws), 2 = per-query algorithm randomness. One root seed per
+  // population keeps every served answer a pure function of (seed, query
+  // sequence).
+  RngStream truth_rng(req.seed, 0);
+  pop.channel_rng = std::make_unique<RngStream>(req.seed, 1);
+  pop.query_rng = std::make_unique<RngStream>(req.seed, 2);
+
+  std::vector<bool> positive(req.n, false);
+  for (const NodeId id : truth_rng.sample_subset(req.n, req.x))
+    positive[static_cast<std::size_t>(id)] = true;
+
+  if (req.tier == BackendTier::kExact) {
+    pop.channel = std::make_unique<group::ExactChannel>(std::move(positive),
+                                                        *pop.channel_rng);
+    pop.oracle_capable = true;
+  } else {
+    group::PacketChannel::Config pcfg;
+    pcfg.model = req.model;
+    pcfg.seed = req.seed;
+    pop.channel = std::make_unique<group::PacketChannel>(std::move(positive),
+                                                         std::move(pcfg));
+    pop.oracle_capable = false;
+  }
+
+  populations_.insert_or_assign(req.population, std::move(pop));
+  resp.status = StatusCode::kOk;
+  resp.message = "loaded " + req.population;
+  return resp;
+}
+
+Response Shard::do_drop(const Request& req) {
+  Response resp;
+  if (populations_.erase(req.population) == 0) {
+    resp.status = StatusCode::kNotFound;
+    resp.message = "unknown population " + req.population;
+    return resp;
+  }
+  resp.status = StatusCode::kOk;
+  resp.message = "dropped " + req.population;
+  return resp;
+}
+
+Response Shard::do_query(const Job& job) {
+  Response resp;
+  const auto it = populations_.find(job.req.population);
+  if (it == populations_.end()) {
+    resp.status = StatusCode::kNotFound;
+    resp.message = "unknown population " + job.req.population;
+    return resp;
+  }
+  Population& pop = it->second;
+
+  if (job.req.t == 0 || job.req.t > pop.n) {
+    resp.status = StatusCode::kInvalidArgument;
+    resp.message = "threshold must satisfy 1 <= t <= n";
+    return resp;
+  }
+
+  const bool approx_path =
+      job.req.approx == ApproxMode::kRequire ||
+      (job.req.approx == ApproxMode::kAllow &&
+       degraded_.load(std::memory_order_acquire));
+
+  if (!approx_path) {
+    const auto* spec = core::find_algorithm(job.req.algorithm);
+    if (spec == nullptr || spec->needs_oracle) {
+      resp.status = StatusCode::kInvalidArgument;
+      resp.message = spec == nullptr
+                         ? "unknown algorithm " + job.req.algorithm
+                         : "oracle baselines are not served";
+      return resp;
+    }
+  }
+
+  QueryCancelToken token(*cfg_.clock, job.deadline_us, killed_);
+  if (token.cancelled()) return cancel_response(token);
+
+  return approx_path ? run_approx(pop, job, token)
+                     : run_exact(pop, job, token);
+}
+
+Response Shard::run_exact(Population& pop, const Job& job,
+                          const core::CancelToken& token) {
+  const Request& req = job.req;
+  core::EngineOptions eopts;
+  eopts.cancel = &token;
+
+  const PlanKey key{pop.n, req.t, req.algorithm};
+  const auto plan = plans_.lookup(key);
+
+  const bool checked = cfg_.checked && pop.oracle_capable;
+  std::optional<conformance::CheckedChannel> guard;
+  if (checked) {
+    conformance::CheckedChannel::Config ccfg;
+    ccfg.exact_semantics = !pop.channel->lossy();
+    guard.emplace(*pop.channel, std::span<const NodeId>(pop.nodes), ccfg);
+  }
+  group::QueryChannel& ch = checked
+                                ? static_cast<group::QueryChannel&>(*guard)
+                                : *pop.channel;
+
+  core::ThresholdOutcome out;
+  double p_estimate = 0.0;
+  if (is_abns_family(req.algorithm)) {
+    // Warm start: prefer the plan cached for this exact (n, t), then the
+    // population's last converged estimate, then the paper's static p0.
+    double p0 = static_cast<double>(
+        req.algorithm == "abns:t" ? req.t : 2 * req.t);
+    if (pop.abns_p_estimate > 0.0) p0 = pop.abns_p_estimate;
+    if (plan && plan->p_estimate > 0.0) p0 = plan->p_estimate;
+    core::AbnsPolicy policy({p0});
+    core::RoundEngine engine(ch, *pop.query_rng, eopts);
+    out = engine.run(pop.nodes, req.t, policy);
+    p_estimate = policy.current_estimate();
+    if (!out.cancelled && p_estimate > 0.0) pop.abns_p_estimate = p_estimate;
+  } else {
+    const auto* spec = core::find_algorithm(req.algorithm);
+    out = spec->run(ch, pop.nodes, req.t, *pop.query_rng, eopts);
+  }
+
+  if (out.cancelled) {
+    Response resp = cancel_response(token);
+    resp.queries = out.queries;
+    return resp;
+  }
+
+  plans_.insert(key, PlanEntry{analytic_initial_bins(req.algorithm, pop.n,
+                                                     req.t, p_estimate),
+                               p_estimate});
+
+  if (checked) {
+    guard->check_outcome(req.t, out);
+    if (!guard->ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      conformance_violations_ += guard->violations().size();
+    }
+  }
+
+  Response resp;
+  resp.status = StatusCode::kOk;
+  resp.decision = out.decision;
+  resp.mode = AnswerMode::kExact;
+  resp.queries = out.queries;
+  return resp;
+}
+
+Response Shard::run_approx(Population& pop, const Job& job,
+                           const core::CancelToken& token) {
+  const auto* estimator =
+      core::find_counting_algorithm(cfg_.degrade_estimator);
+  if (estimator == nullptr) {
+    Response resp;
+    resp.status = StatusCode::kInvalidArgument;
+    resp.message = "degrade estimator " + cfg_.degrade_estimator +
+                   " is not registered";
+    return resp;
+  }
+
+  core::CountOptions copts;
+  copts.engine.cancel = &token;
+
+  const bool checked = cfg_.checked && pop.oracle_capable;
+  std::optional<conformance::CheckedChannel> guard;
+  if (checked) {
+    conformance::CheckedChannel::Config ccfg;
+    ccfg.exact_semantics = !pop.channel->lossy();
+    guard.emplace(*pop.channel, std::span<const NodeId>(pop.nodes), ccfg);
+  }
+  group::QueryChannel& ch = checked
+                                ? static_cast<group::QueryChannel&>(*guard)
+                                : *pop.channel;
+
+  const core::CountOutcome out =
+      estimator->run(ch, pop.nodes, *pop.query_rng, copts);
+
+  if (out.cancelled) {
+    Response resp = cancel_response(token);
+    resp.queries = out.queries;
+    return resp;
+  }
+
+  if (checked) {
+    guard->check_count_outcome(out);
+    if (!guard->ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      conformance_violations_ += guard->violations().size();
+    }
+  }
+
+  // The honest degraded answer: the count estimate versus t, tagged with
+  // the estimator's claimed band — never passed off as an exact verdict.
+  Response resp;
+  resp.status = StatusCode::kOk;
+  resp.decision =
+      out.estimate >= static_cast<double>(job.req.t);
+  resp.mode = out.exact ? AnswerMode::kExact : AnswerMode::kApproximate;
+  resp.estimate = out.estimate;
+  resp.epsilon = out.epsilon;
+  resp.confidence = out.confidence;
+  resp.queries = out.queries;
+  return resp;
+}
+
+Response Shard::cancel_response(const core::CancelToken& token) const {
+  (void)token;
+  Response resp;
+  if (killed_.load(std::memory_order_acquire)) {
+    resp.status = StatusCode::kShardDown;
+    resp.message = "shard killed mid-query";
+    resp.retry_after_ms = 1;
+  } else {
+    resp.status = StatusCode::kDeadlineExceeded;
+    resp.message = "deadline expired mid-query";
+  }
+  return resp;
+}
+
+}  // namespace tcast::service

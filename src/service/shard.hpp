@@ -1,0 +1,208 @@
+// A tcastd shard: single-owner executor for a slice of the population
+// namespace, with bounded admission, deadline shedding, and graceful
+// degradation to approximate counting.
+//
+// Concurrency contract:
+//   * submit() / kill() / reboot() / shutdown() / stats() are thread-safe
+//     (server threads, chaos controller);
+//   * drain() — where populations, RNG streams and the plan cache live —
+//     is called by at most one thread at a time (the service pumps every
+//     shard through ThreadPool::run_batch, one batch slot per shard), so
+//     the execution path needs no locking around engine runs.
+//
+// The overload ladder, in order of escalation (docs/SERVICE.md):
+//   1. admission control — the queue is bounded; a full queue rejects with
+//      kOverloaded + a retry-after hint sized from the EWMA service time;
+//   2. deadline shedding — a query whose deadline expired while queued is
+//      resolved kDeadlineExceeded at dequeue, before any engine work;
+//   3. degradation — sustained depth ≥ degrade_enter flips the shard into
+//      degraded mode (hysteresis: exits at depth ≤ degrade_exit), where
+//      approx-tolerant queries are answered by the configured counting
+//      estimator instead of an exact session — honestly tagged
+//      mode=approximate with the claimed (1±ε, confidence) band attached;
+//   4. mid-run cancellation — a deadline or shard kill trips the engine's
+//      CancelToken between queries; the outcome maps to a typed error,
+//      never a fabricated verdict.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "core/round_engine.hpp"
+#include "group/query_channel.hpp"
+#include "perf/latency.hpp"
+#include "service/clock.hpp"
+#include "service/plan_cache.hpp"
+#include "service/protocol.hpp"
+
+namespace tcast::service {
+
+/// Deadline + shard-kill cancel token handed to the engine for one query.
+class QueryCancelToken final : public core::CancelToken {
+ public:
+  QueryCancelToken(const Clock& clock, TimeUs deadline_us,
+                   const std::atomic<bool>& killed)
+      : clock_(&clock), deadline_us_(deadline_us), killed_(&killed) {}
+
+  bool cancelled() const override {
+    return killed_->load(std::memory_order_acquire) ||
+           clock_->now_us() >= deadline_us_;
+  }
+
+ private:
+  const Clock* clock_;
+  TimeUs deadline_us_;
+  const std::atomic<bool>* killed_;
+};
+
+struct ShardConfig {
+  std::size_t index = 0;
+  /// Bounded admission queue; a full queue rejects with kOverloaded.
+  std::size_t queue_capacity = 64;
+  /// Degradation hysteresis on queue depth: enter at >= enter, leave at
+  /// <= exit. enter > exit keeps the mode from flapping per-request.
+  std::size_t degrade_enter = 32;
+  std::size_t degrade_exit = 8;
+  /// Max jobs executed per drain() call (pump fairness across shards).
+  std::size_t batch_max = 8;
+  /// Counting estimator answering degraded queries (counting_registry name).
+  std::string degrade_estimator = "nz-geom";
+  /// Run exact-tier queries through a conformance CheckedChannel and count
+  /// violations (the service-level safety net; cheap relative to a run).
+  bool checked = false;
+  std::size_t plan_cache_capacity = 64;
+  /// Populations larger than this are rejected kInvalidArgument.
+  std::size_t max_population = 1 << 16;
+  /// Time source; borrowed, must outlive the shard.
+  const Clock* clock = &RealClock::instance();
+};
+
+struct ShardStats {
+  std::size_t index = 0;
+  std::size_t queue_depth = 0;
+  bool degraded = false;
+  bool killed = false;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t shed_deadline = 0;       ///< expired while queued
+  std::uint64_t cancelled_deadline = 0;  ///< expired mid-run
+  std::uint64_t cancelled_kill = 0;
+  std::uint64_t completed_exact = 0;
+  std::uint64_t completed_approx = 0;
+  std::uint64_t degrade_entries = 0;  ///< times the shard entered degraded mode
+  std::uint64_t errors = 0;           ///< kNotFound/kInvalidArgument/...
+  std::uint64_t conformance_violations = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+  std::uint64_t populations = 0;
+  double ewma_service_us = 0.0;
+  perf::PercentileSummary latency;  ///< end-to-end, admission → resolution
+};
+
+class Shard {
+ public:
+  using Callback = std::function<void(const Response&)>;
+
+  explicit Shard(ShardConfig cfg);
+
+  /// Admits a request or resolves it immediately (kOverloaded when the
+  /// queue is full, kShuttingDown after shutdown()). Every submitted
+  /// request's callback is invoked exactly once, here or from drain().
+  void submit(Request req, Callback cb);
+
+  /// Executes up to batch_max queued jobs. A killed shard still drains —
+  /// flushing its queue as kShardDown — so no request ever hangs.
+  /// Single-threaded by contract (see file comment).
+  void drain();
+
+  /// Chaos hooks. kill() trips the in-flight cancel token and turns the
+  /// queue into kShardDown flushes; reboot() restores service (populations
+  /// survive — the model is a warm process restart, and the robustness
+  /// contract under test is typed errors + recovery, not durability).
+  void kill();
+  void reboot();
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+  /// Rejects new work and makes the next drain() flush the queue with
+  /// kShuttingDown.
+  void shutdown();
+
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  std::size_t queue_depth() const;
+  ShardStats stats() const;
+
+ private:
+  struct Job {
+    Request req;
+    Callback cb;
+    TimeUs admit_us = 0;
+    TimeUs deadline_us = kNoDeadline;
+  };
+
+  /// A resident population: ground truth + channel + RNG streams. All
+  /// access is from the drain path.
+  struct Population {
+    std::size_t n = 0;
+    std::size_t x = 0;
+    BackendTier tier = BackendTier::kExact;
+    group::CollisionModel model = group::CollisionModel::kOnePlus;
+    std::uint64_t seed = 1;
+    std::vector<NodeId> nodes;  ///< [0, n)
+    /// Channel-internal randomness (capture draws); must outlive channel.
+    std::unique_ptr<RngStream> channel_rng;
+    /// Algorithm-run randomness, advanced per query.
+    std::unique_ptr<RngStream> query_rng;
+    std::unique_ptr<group::QueryChannel> channel;
+    bool oracle_capable = false;  ///< exact tier: CheckedChannel eligible
+    /// ABNS warm start: the estimate the last ABNS run converged to.
+    double abns_p_estimate = 0.0;
+  };
+
+  void finish(const Job& job, Response resp);
+  void update_degraded(std::size_t depth);
+  std::uint64_t retry_after_ms_locked(std::size_t depth) const;
+
+  Response execute(const Job& job);
+  Response do_load(const Request& req);
+  Response do_drop(const Request& req);
+  Response do_query(const Job& job);
+  Response run_exact(Population& pop, const Job& job,
+                     const core::CancelToken& token);
+  Response run_approx(Population& pop, const Job& job,
+                      const core::CancelToken& token);
+  Response cancel_response(const core::CancelToken& token) const;
+
+  ShardConfig cfg_;
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> degraded_{false};
+
+  mutable std::mutex mu_;  ///< queue + counters + latency recorder
+  std::deque<Job> queue_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t shed_deadline_ = 0;
+  std::uint64_t cancelled_deadline_ = 0;
+  std::uint64_t cancelled_kill_ = 0;
+  std::uint64_t completed_exact_ = 0;
+  std::uint64_t completed_approx_ = 0;
+  std::uint64_t degrade_entries_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t conformance_violations_ = 0;
+  double ewma_service_us_ = 0.0;
+  perf::LatencyRecorder latency_{1 << 14};
+
+  // Drain-path state (no locking; see concurrency contract).
+  std::unordered_map<std::string, Population> populations_;
+  PlanCache plans_;
+};
+
+}  // namespace tcast::service

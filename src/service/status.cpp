@@ -1,0 +1,40 @@
+#include "service/status.hpp"
+
+namespace tcast::service {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kShardDown:
+      return "shard-down";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kShuttingDown:
+      return "shutting-down";
+  }
+  return "invalid-argument";
+}
+
+std::optional<StatusCode> parse_status(std::string_view text) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kOverloaded, StatusCode::kDeadlineExceeded,
+        StatusCode::kShardDown, StatusCode::kNotFound,
+        StatusCode::kInvalidArgument, StatusCode::kShuttingDown}) {
+    if (text == to_string(code)) return code;
+  }
+  return std::nullopt;
+}
+
+bool is_retryable(StatusCode code) {
+  return code == StatusCode::kOverloaded || code == StatusCode::kShardDown ||
+         code == StatusCode::kShuttingDown;
+}
+
+}  // namespace tcast::service

@@ -1,0 +1,48 @@
+// The tcastd error taxonomy (docs/SERVICE.md).
+//
+// Every request submitted to the service resolves to exactly one Response
+// carrying one of these codes — a verdict (kOk) or a *typed* error. The
+// robustness contract is that no overload, deadline or shard fault ever
+// turns into a fabricated verdict or a silently dropped request:
+//
+//   kOverloaded       — admission control rejected the request up front
+//                       (bounded queue full); retryable, and the response
+//                       carries a retry-after hint sized from the shard's
+//                       drain rate.
+//   kDeadlineExceeded — the per-query deadline expired, either before the
+//                       query was dequeued (load shedding) or mid-round
+//                       (the engine's CancelToken tripped). Never a verdict.
+//   kShardDown        — the owning shard was killed (chaos or fault) while
+//                       the query was queued or in flight; retryable after
+//                       the shard reboots.
+//   kNotFound         — unknown population name.
+//   kInvalidArgument  — malformed request (unknown algorithm, x > n, ...).
+//   kShuttingDown     — the service is stopping; queued work is flushed
+//                       with this code instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tcast::service {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kOverloaded,
+  kDeadlineExceeded,
+  kShardDown,
+  kNotFound,
+  kInvalidArgument,
+  kShuttingDown,
+};
+
+const char* to_string(StatusCode code);
+std::optional<StatusCode> parse_status(std::string_view text);
+
+/// True for errors a client should retry with backoff (the server state
+/// that produced them is transient). Deadline expiry is NOT retryable by
+/// default: the client's budget is spent; retrying is its own decision.
+bool is_retryable(StatusCode code);
+
+}  // namespace tcast::service

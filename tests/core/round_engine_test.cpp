@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "analysis/bounds.hpp"
+#include "core/counting.hpp"
 #include "core/registry.hpp"
 #include "core/two_t_bins.hpp"
 #include "group/exact_channel.hpp"
@@ -223,6 +224,85 @@ TEST(Registry, LookupFindsAllAndRejectsUnknown) {
     EXPECT_FALSE(spec.description.empty());
     EXPECT_NE(spec.run, nullptr);
   }
+}
+
+// Token that trips once the channel has spent `limit` queries — the
+// deterministic analogue of a wall-clock deadline (a query budget).
+class QueryBudgetToken final : public CancelToken {
+ public:
+  QueryBudgetToken(const group::QueryChannel& ch, QueryCount limit)
+      : ch_(&ch), limit_(limit) {}
+  bool cancelled() const override { return ch_->queries_used() >= limit_; }
+
+ private:
+  const group::QueryChannel* ch_;
+  QueryCount limit_;
+};
+
+TEST(Cancellation, MidRunCancelNeverFabricatesAVerdict) {
+  // The same instance decides `true` uncancelled; with a 3-query budget the
+  // engine must stop mid-round with cancelled set instead of guessing.
+  RngStream rng(11);
+  auto ch = ExactChannel::with_random_positives(64, 40, rng);
+  QueryBudgetToken budget(ch, 3);
+  EngineOptions opts;
+  opts.cancel = &budget;
+  const auto out = run_two_t_bins(ch, ch.all_nodes(), 16, rng, opts);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(out.queries, 3u);  // polled before every query
+
+  RngStream rng2(11);
+  auto ch2 = ExactChannel::with_random_positives(64, 40, rng2);
+  const auto full = run_two_t_bins(ch2, ch2.all_nodes(), 16, rng2);
+  EXPECT_FALSE(full.cancelled);
+  EXPECT_TRUE(full.decision);
+}
+
+TEST(Cancellation, AlreadyTrippedTokenCancelsBeforeAnyQuery) {
+  RngStream rng(12);
+  auto ch = ExactChannel::with_random_positives(32, 10, rng);
+  FlagCancelToken token;
+  token.cancel();
+  EngineOptions opts;
+  opts.cancel = &token;
+  const auto out = run_two_t_bins(ch, ch.all_nodes(), 4, rng, opts);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(out.queries, 0u);
+}
+
+TEST(Cancellation, UntrippedTokenIsBitIdenticalToNoToken) {
+  for (const auto& spec : algorithm_registry()) {
+    if (spec.needs_oracle) continue;
+    RngStream rng_a(21);
+    auto ch_a = ExactChannel::with_random_positives(48, 20, rng_a);
+    const auto plain = spec.run(ch_a, ch_a.all_nodes(), 12, rng_a, {});
+
+    RngStream rng_b(21);
+    auto ch_b = ExactChannel::with_random_positives(48, 20, rng_b);
+    FlagCancelToken token;
+    EngineOptions opts;
+    opts.cancel = &token;
+    const auto tokened = spec.run(ch_b, ch_b.all_nodes(), 12, rng_b, opts);
+
+    EXPECT_EQ(plain.decision, tokened.decision) << spec.name;
+    EXPECT_EQ(plain.queries, tokened.queries) << spec.name;
+    EXPECT_FALSE(tokened.cancelled) << spec.name;
+    EXPECT_EQ(rng_a.bits(), rng_b.bits()) << spec.name;
+  }
+}
+
+TEST(Cancellation, CountingAdapterPropagatesCancel) {
+  // Budget chosen to trip inside the estimation phase; the adapter must
+  // surface `cancelled` instead of falling through to a verdict.
+  RngStream rng(31);
+  auto ch = ExactChannel::with_random_positives(64, 30, rng);
+  QueryBudgetToken budget(ch, 2);
+  EngineOptions opts;
+  opts.cancel = &budget;
+  const auto out = run_threshold_via_count(ch, ch.all_nodes(), 8, rng,
+                                           "nz-geom", opts);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_LE(out.queries, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,59 @@
+// LatencyRecorder: exact scalar stats, percentile accuracy, and the
+// stride-doubling decimation's bounded-memory guarantee.
+#include "perf/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tcast::perf {
+namespace {
+
+TEST(PercentileOf, InterpolatesOverTheSortedSample) {
+  std::vector<std::uint64_t> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of({7}, 0.99), 7.0);
+}
+
+TEST(LatencyRecorder, ExactStatsOverASmallSample) {
+  LatencyRecorder rec;
+  for (const std::uint64_t v : {5u, 1u, 9u, 3u, 7u}) rec.record(v);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(LatencyRecorder, DecimationKeepsMemoryBoundedAndQuantilesSane) {
+  // 100k samples of 0..999 repeating through a 1k-cap recorder: counts
+  // stay exact, and the retained systematic sample still estimates the
+  // uniform quantiles well.
+  LatencyRecorder rec(1024);
+  const std::uint64_t total = 100'000;
+  for (std::uint64_t i = 0; i < total; ++i) rec.record(i % 1000);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, total);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 999u);
+  EXPECT_NEAR(s.mean, 499.5, 0.5);
+  EXPECT_NEAR(s.p50, 500.0, 50.0);
+  EXPECT_NEAR(s.p99, 990.0, 50.0);
+}
+
+TEST(LatencyRecorder, ResetClearsEverything) {
+  LatencyRecorder rec;
+  rec.record(42);
+  rec.reset();
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+}  // namespace
+}  // namespace tcast::perf

@@ -1,0 +1,61 @@
+// Client retry policy: what retries, and that delays stay inside the
+// jittered exponential envelope while honoring server hints.
+#include "service/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace tcast::service {
+namespace {
+
+TEST(Backoff, RetriesOnlyRetryableStatusesWithinBudget) {
+  BackoffPolicy policy;
+  policy.max_retries = 2;
+  EXPECT_TRUE(policy.should_retry(StatusCode::kOverloaded, 0));
+  EXPECT_TRUE(policy.should_retry(StatusCode::kShardDown, 1));
+  EXPECT_FALSE(policy.should_retry(StatusCode::kOverloaded, 2));
+  EXPECT_FALSE(policy.should_retry(StatusCode::kOk, 0));
+  EXPECT_FALSE(policy.should_retry(StatusCode::kDeadlineExceeded, 0));
+  EXPECT_FALSE(policy.should_retry(StatusCode::kInvalidArgument, 0));
+}
+
+TEST(Backoff, DelayStaysInTheJitteredExponentialEnvelope) {
+  BackoffPolicy policy;  // base 2ms, x2, jitter 0.5
+  RngStream rng(7, 0);
+  for (std::size_t attempt = 0; attempt < 6; ++attempt) {
+    const double full =
+        static_cast<double>(policy.base_ms) *
+        std::pow(policy.multiplier, static_cast<double>(attempt));
+    const auto cap = std::min<double>(full, static_cast<double>(policy.max_ms));
+    for (int i = 0; i < 50; ++i) {
+      const auto d = policy.delay_ms(attempt, 0, rng);
+      EXPECT_LE(static_cast<double>(d), cap + 1.0) << "attempt " << attempt;
+      EXPECT_GE(static_cast<double>(d), (1.0 - policy.jitter) * cap - 1.0)
+          << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, ServerHintActsAsFloor) {
+  BackoffPolicy policy;  // base 2ms: schedule alone would allow ~2ms
+  RngStream rng(7, 1);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = policy.delay_ms(0, 500, rng);
+    // The hint (500ms) dominates the 2ms exponential term; jitter may
+    // shave at most `jitter` off the combined delay.
+    EXPECT_GE(static_cast<double>(d), (1.0 - policy.jitter) * 500.0 - 1.0);
+  }
+}
+
+TEST(Backoff, DelayNeverExceedsMax) {
+  BackoffPolicy policy;
+  policy.max_ms = 100;
+  RngStream rng(7, 2);
+  for (std::size_t attempt = 0; attempt < 12; ++attempt)
+    EXPECT_LE(policy.delay_ms(attempt, 0, rng), 100u);
+}
+
+}  // namespace
+}  // namespace tcast::service

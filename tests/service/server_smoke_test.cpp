@@ -1,0 +1,167 @@
+// End-to-end smoke over the real transport: an in-process UnixServer on a
+// temp socket, a UnixClient speaking the framed protocol, pump thread
+// running — the whole tcastd stack minus the process boundary. Labeled
+// service_smoke so CI's main matrix can run exactly this.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace tcast::service {
+namespace {
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/tcast_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+Request parse_or_die(const std::string& line) {
+  const auto req = Request::parse(line);
+  EXPECT_TRUE(req.has_value()) << line;
+  return req.value_or(Request{});
+}
+
+TEST(ServerSmoke, LoadQueryStatsShutdownOverTheSocket) {
+  TcastService svc(ServiceConfig{});
+  svc.start_pump_thread();
+  UnixServer server(svc, temp_socket_path("smoke"));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread loop([&] { server.run(); });
+
+  UnixClient client(server.socket_path());
+  ASSERT_TRUE(client.connect(&error)) << error;
+
+  auto resp = client.call(parse_or_die("ping"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_EQ(resp->message, "pong");
+
+  resp = client.call(parse_or_die("load pop=fleet n=128 x=40 seed=7"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+
+  resp = client.call(
+      parse_or_die("query pop=fleet t=40 approx=never deadline-ms=5000"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_TRUE(resp->decision);  // x=40 >= t=40
+  EXPECT_EQ(resp->mode, AnswerMode::kExact);
+
+  resp = client.call(parse_or_die("query pop=fleet t=41 approx=never"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_FALSE(resp->decision);
+
+  resp = client.call(parse_or_die("query pop=ghost t=1"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kNotFound);
+
+  resp = client.call(parse_or_die("stats"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_NE(resp->message.find("completed_exact="), std::string::npos);
+
+  resp = client.call(parse_or_die("shutdown"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+
+  loop.join();  // run() exits once the service enters shutdown
+  svc.stop_pump_thread();
+}
+
+TEST(ServerSmoke, RetryLoopRecoversFromAKilledShard) {
+  ServiceConfig cfg;
+  cfg.shards = 1;  // the kill below must hit the population's shard
+  TcastService svc(cfg);
+  svc.start_pump_thread();
+  UnixServer server(svc, temp_socket_path("retry"));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread loop([&] { server.run(); });
+
+  UnixClient client(server.socket_path());
+  ASSERT_TRUE(client.connect(&error)) << error;
+  ASSERT_EQ(client.call(parse_or_die("load pop=p n=64 x=10 seed=3"))->status,
+            StatusCode::kOk);
+
+  ASSERT_EQ(client.call(parse_or_die("kill shard=0"))->status,
+            StatusCode::kOk);
+
+  // Plain call: typed kShardDown, not a hang.
+  auto resp = client.call(parse_or_die("query pop=p t=5"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kShardDown);
+
+  // Reboot, then the retry loop must land a verdict.
+  ASSERT_EQ(client.call(parse_or_die("reboot shard=0"))->status,
+            StatusCode::kOk);
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  policy.base_ms = 1;
+  RngStream rng(1, 0);
+  std::size_t attempts = 0;
+  resp = client.call_with_retries(parse_or_die("query pop=p t=5"), policy,
+                                  rng, &attempts);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, StatusCode::kOk);
+  EXPECT_TRUE(resp->decision);
+  EXPECT_GE(attempts, 1u);
+
+  server.stop();
+  loop.join();
+  svc.stop_pump_thread();
+}
+
+TEST(ServerSmoke, UnparseableRequestGetsATypedResponse) {
+  TcastService svc(ServiceConfig{});
+  svc.start_pump_thread();
+  UnixServer server(svc, temp_socket_path("badreq"));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  std::thread loop([&] { server.run(); });
+
+  // UnixClient only sends well-formed requests, so speak raw frames here.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, server.socket_path().c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  std::string framed;
+  append_frame(framed, "this is not a protocol line");
+  ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+            static_cast<ssize_t>(framed.size()));
+
+  FrameReader reader;
+  std::optional<std::string> payload;
+  char buf[512];
+  while (!payload.has_value()) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    ASSERT_GT(n, 0);
+    reader.feed(buf, static_cast<std::size_t>(n));
+    payload = reader.next();
+  }
+  const auto resp = Response::parse(*payload);
+  ASSERT_TRUE(resp.has_value()) << *payload;
+  EXPECT_EQ(resp->status, StatusCode::kInvalidArgument);
+  ::close(fd);
+
+  server.stop();
+  loop.join();
+  svc.stop_pump_thread();
+}
+
+}  // namespace
+}  // namespace tcast::service

@@ -1,0 +1,369 @@
+// Deterministic overload-ladder tests against one Shard under a
+// ManualClock: every rung — admission rejection, deadline shedding,
+// degradation hysteresis, mid-run cancellation, kill/reboot — is a
+// scripted event here, not a race.
+#include "service/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tcast::service {
+namespace {
+
+Request load_req(const std::string& pop, std::size_t n, std::size_t x,
+                 std::uint64_t seed = 7) {
+  Request req;
+  req.kind = RequestKind::kLoad;
+  req.population = pop;
+  req.n = n;
+  req.x = x;
+  req.seed = seed;
+  return req;
+}
+
+Request query_req(const std::string& pop, std::size_t t,
+                  std::uint64_t deadline_ms = 0,
+                  ApproxMode approx = ApproxMode::kAllow) {
+  Request req;
+  req.kind = RequestKind::kQuery;
+  req.population = pop;
+  req.t = t;
+  req.deadline_ms = deadline_ms;
+  req.approx = approx;
+  return req;
+}
+
+/// Submits and keeps the eventual response findable by index.
+class Collector {
+ public:
+  void submit(Shard& shard, Request req) {
+    const std::size_t slot = responses_.size();
+    responses_.emplace_back();
+    shard.submit(std::move(req), [this, slot](const Response& r) {
+      responses_[slot] = r;
+    });
+  }
+
+  const std::optional<Response>& at(std::size_t i) const {
+    return responses_.at(i);
+  }
+  std::size_t resolved() const {
+    std::size_t n = 0;
+    for (const auto& r : responses_)
+      if (r.has_value()) ++n;
+    return n;
+  }
+  std::size_t size() const { return responses_.size(); }
+
+ private:
+  std::vector<std::optional<Response>> responses_;
+};
+
+ShardConfig config(const Clock& clock) {
+  ShardConfig cfg;
+  cfg.clock = &clock;
+  cfg.checked = true;  // conformance guard on: violations must stay 0
+  return cfg;
+}
+
+TEST(Shard, ExactVerdictsMatchGroundTruth) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 64, 20));
+  shard.drain();
+  for (const std::size_t t : {1u, 19u, 20u, 21u, 64u}) {
+    out.submit(shard, query_req("p", t, 0, ApproxMode::kNever));
+    shard.drain();
+  }
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_TRUE(out.at(i).has_value());
+    const Response& r = *out.at(i);
+    ASSERT_EQ(r.status, StatusCode::kOk);
+    EXPECT_EQ(r.mode, AnswerMode::kExact);
+  }
+  EXPECT_TRUE(out.at(1)->decision);    // t=1  <= x=20
+  EXPECT_TRUE(out.at(2)->decision);    // t=19
+  EXPECT_TRUE(out.at(3)->decision);    // t=20
+  EXPECT_FALSE(out.at(4)->decision);   // t=21 > x
+  EXPECT_FALSE(out.at(5)->decision);   // t=64
+  EXPECT_EQ(shard.stats().conformance_violations, 0u);
+}
+
+TEST(Shard, FullQueueRejectsWithRetryAfterHint) {
+  ManualClock clock;
+  ShardConfig cfg = config(clock);
+  cfg.queue_capacity = 2;
+  Shard shard(cfg);
+  Collector out;
+  out.submit(shard, load_req("p", 32, 10));
+  shard.drain();
+
+  out.submit(shard, query_req("p", 5));  // queued
+  out.submit(shard, query_req("p", 5));  // queued (queue now full)
+  out.submit(shard, query_req("p", 5));  // rejected at admission
+  ASSERT_TRUE(out.at(3).has_value());
+  EXPECT_EQ(out.at(3)->status, StatusCode::kOverloaded);
+  EXPECT_GE(out.at(3)->retry_after_ms, 1u);
+  EXPECT_EQ(shard.stats().rejected_overload, 1u);
+
+  shard.drain();
+  EXPECT_EQ(out.resolved(), out.size());
+  EXPECT_EQ(out.at(1)->status, StatusCode::kOk);
+  EXPECT_EQ(out.at(2)->status, StatusCode::kOk);
+}
+
+TEST(Shard, DeadlineExpiredInQueueIsShedAsTypedError) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 32, 10));
+  shard.drain();
+
+  out.submit(shard, query_req("p", 5, /*deadline_ms=*/5));
+  clock.advance_us(6000);  // budget blown while queued
+  shard.drain();
+
+  ASSERT_TRUE(out.at(1).has_value());
+  EXPECT_EQ(out.at(1)->status, StatusCode::kDeadlineExceeded);
+  const auto stats = shard.stats();
+  EXPECT_EQ(stats.shed_deadline, 1u);
+  EXPECT_EQ(stats.cancelled_deadline, 0u);  // never reached the engine
+  EXPECT_EQ(stats.completed_exact, 0u);
+}
+
+/// Clock whose every read advances time: the deterministic way to make a
+/// deadline expire *inside* an engine run (each cancel poll is a read).
+class SteppingClock final : public Clock {
+ public:
+  explicit SteppingClock(TimeUs step) : step_(step) {}
+  TimeUs now_us() const override {
+    return t_.fetch_add(step_, std::memory_order_acq_rel);
+  }
+
+ private:
+  TimeUs step_;
+  mutable std::atomic<TimeUs> t_{0};
+};
+
+TEST(Shard, DeadlineTrippedMidRunIsACancelNotAVerdict) {
+  SteppingClock clock(100);  // every look at the clock costs 100us
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 256, 100));
+  shard.drain();
+
+  // 2ms budget = 20 clock reads; a t=64 run over n=256 wants far more
+  // cancel polls than that, so the token trips mid-run.
+  out.submit(shard, query_req("p", 64, /*deadline_ms=*/2));
+  shard.drain();
+
+  ASSERT_TRUE(out.at(1).has_value());
+  EXPECT_EQ(out.at(1)->status, StatusCode::kDeadlineExceeded);
+  const auto stats = shard.stats();
+  EXPECT_EQ(stats.cancelled_deadline, 1u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+  EXPECT_EQ(stats.completed_exact, 0u);  // no fabricated verdict
+}
+
+TEST(Shard, DegradationHysteresisEntersAndExits) {
+  ManualClock clock;
+  ShardConfig cfg = config(clock);
+  cfg.queue_capacity = 16;
+  cfg.degrade_enter = 4;
+  cfg.degrade_exit = 1;
+  cfg.batch_max = 1;
+  Shard shard(cfg);
+  Collector out;
+  out.submit(shard, load_req("p", 64, 30));
+  shard.drain();
+  EXPECT_FALSE(shard.degraded());
+
+  for (int i = 0; i < 4; ++i) out.submit(shard, query_req("p", 16));
+  EXPECT_TRUE(shard.degraded());  // depth hit degrade_enter
+
+  shard.drain();  // depth 4 -> 3: still above degrade_exit
+  EXPECT_TRUE(shard.degraded());
+  shard.drain();  // 3 -> 2
+  EXPECT_TRUE(shard.degraded());
+  shard.drain();  // 2 -> 1 == degrade_exit: recovery
+  EXPECT_FALSE(shard.degraded());
+  shard.drain();
+
+  // Every queued query resolved kOk; the ones served while degraded took
+  // the approximate path and, if tagged approximate, carry their band.
+  const auto stats = shard.stats();
+  EXPECT_EQ(out.resolved(), out.size());
+  EXPECT_EQ(stats.completed_exact + stats.completed_approx, 4u);
+  EXPECT_EQ(stats.degrade_entries, 1u);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    const Response& r = *out.at(i);
+    ASSERT_EQ(r.status, StatusCode::kOk);
+    if (r.mode == AnswerMode::kApproximate) {
+      EXPECT_GT(r.epsilon, 0.0);
+      EXPECT_GT(r.confidence, 0.0);
+    }
+  }
+  EXPECT_EQ(stats.conformance_violations, 0u);
+}
+
+TEST(Shard, ApproxNeverIsServedExactEvenWhileDegraded) {
+  ManualClock clock;
+  ShardConfig cfg = config(clock);
+  cfg.degrade_enter = 2;
+  cfg.degrade_exit = 0;
+  cfg.batch_max = 8;
+  Shard shard(cfg);
+  Collector out;
+  out.submit(shard, load_req("p", 64, 30));
+  shard.drain();
+
+  out.submit(shard, query_req("p", 16, 0, ApproxMode::kNever));
+  out.submit(shard, query_req("p", 16, 0, ApproxMode::kNever));
+  ASSERT_TRUE(shard.degraded());
+  shard.drain();
+
+  for (std::size_t i = 1; i <= 2; ++i) {
+    ASSERT_EQ(out.at(i)->status, StatusCode::kOk);
+    EXPECT_EQ(out.at(i)->mode, AnswerMode::kExact);
+    EXPECT_TRUE(out.at(i)->decision);  // x=30 >= t=16
+  }
+}
+
+TEST(Shard, ApproxRequireAnswersFromTheCountingPath) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 64, 30));
+  shard.drain();
+  out.submit(shard, query_req("p", 16, 0, ApproxMode::kRequire));
+  shard.drain();
+  const Response& r = *out.at(1);
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  if (r.mode == AnswerMode::kApproximate) {
+    EXPECT_GT(r.epsilon, 0.0);
+    EXPECT_GT(r.confidence, 0.0);
+    EXPECT_GT(r.estimate, 0.0);
+  }
+  const auto stats = shard.stats();
+  EXPECT_EQ(stats.completed_exact + stats.completed_approx, 1u);
+}
+
+TEST(Shard, KilledShardFlushesQueueAndRecoversOnReboot) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 32, 10));
+  shard.drain();
+
+  out.submit(shard, query_req("p", 5));
+  out.submit(shard, query_req("p", 5));
+  shard.kill();
+  shard.drain();  // a killed shard still drains: typed errors, no hangs
+
+  for (std::size_t i = 1; i <= 2; ++i) {
+    ASSERT_TRUE(out.at(i).has_value());
+    EXPECT_EQ(out.at(i)->status, StatusCode::kShardDown);
+    EXPECT_GE(out.at(i)->retry_after_ms, 1u);
+  }
+  EXPECT_EQ(shard.stats().cancelled_kill, 2u);
+
+  shard.reboot();
+  out.submit(shard, query_req("p", 5));  // populations survive the reboot
+  shard.drain();
+  ASSERT_TRUE(out.at(3).has_value());
+  EXPECT_EQ(out.at(3)->status, StatusCode::kOk);
+  EXPECT_TRUE(out.at(3)->decision);
+}
+
+TEST(Shard, ShutdownRejectsNewWorkAndFlushesQueued) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 32, 10));
+  shard.drain();
+  out.submit(shard, query_req("p", 5));
+  shard.shutdown();
+  out.submit(shard, query_req("p", 5));  // rejected synchronously
+  ASSERT_TRUE(out.at(2).has_value());
+  EXPECT_EQ(out.at(2)->status, StatusCode::kShuttingDown);
+  shard.drain();  // queued work flushed, not hung
+  ASSERT_TRUE(out.at(1).has_value());
+  EXPECT_EQ(out.at(1)->status, StatusCode::kShuttingDown);
+}
+
+TEST(Shard, TypedErrorsForBadRequests) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, query_req("ghost", 5));
+  out.submit(shard, load_req("p", 32, 10));
+  shard.drain();
+  EXPECT_EQ(out.at(0)->status, StatusCode::kNotFound);
+
+  out.submit(shard, query_req("p", 0));    // t out of range
+  out.submit(shard, query_req("p", 33));   // t > n
+  out.submit(shard, load_req("big", 32, 40));  // x > n
+  Request oracle = query_req("p", 5, 0, ApproxMode::kNever);
+  oracle.algorithm = "oracle";
+  out.submit(shard, std::move(oracle));
+  Request unknown = query_req("p", 5, 0, ApproxMode::kNever);
+  unknown.algorithm = "no-such-algo";
+  out.submit(shard, std::move(unknown));
+  shard.drain();
+  for (std::size_t i = 2; i < out.size(); ++i) {
+    ASSERT_TRUE(out.at(i).has_value()) << i;
+    EXPECT_EQ(out.at(i)->status, StatusCode::kInvalidArgument) << i;
+  }
+}
+
+TEST(Shard, AbnsWarmStartHitsThePlanCache) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  out.submit(shard, load_req("p", 128, 40));
+  shard.drain();
+
+  Request q = query_req("p", 20, 0, ApproxMode::kNever);
+  q.algorithm = "abns:t";
+  out.submit(shard, Request(q));
+  shard.drain();
+  auto stats = shard.stats();
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 0u);
+
+  // Same (n, t, algorithm): the second run warm-starts from the cached
+  // converged estimate.
+  out.submit(shard, Request(q));
+  shard.drain();
+  stats = shard.stats();
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 1u);
+
+  ASSERT_EQ(out.at(1)->status, StatusCode::kOk);
+  ASSERT_EQ(out.at(2)->status, StatusCode::kOk);
+  EXPECT_TRUE(out.at(1)->decision);
+  EXPECT_TRUE(out.at(2)->decision);
+  EXPECT_EQ(stats.conformance_violations, 0u);
+}
+
+TEST(Shard, PacketTierServesVerdicts) {
+  ManualClock clock;
+  Shard shard(config(clock));
+  Collector out;
+  Request load = load_req("pk", 64, 25);
+  load.tier = BackendTier::kPacket;
+  out.submit(shard, std::move(load));
+  shard.drain();
+  out.submit(shard, query_req("pk", 10, 0, ApproxMode::kNever));
+  shard.drain();
+  ASSERT_TRUE(out.at(1).has_value());
+  EXPECT_EQ(out.at(1)->status, StatusCode::kOk);
+  EXPECT_TRUE(out.at(1)->decision);  // x=25 >= t=10
+}
+
+}  // namespace
+}  // namespace tcast::service

@@ -10,6 +10,13 @@ current run are listed as new; benchmarks present only in the baseline are
 listed as missing and — with --fail-on-missing — fail the gate, catching
 benchmarks that silently stopped being registered or ran.
 
+Benchmarks carrying a `percentiles` object (the service load rigs) are
+additionally gated on tail latency: each gated percentile (p99_us,
+p999_us) becomes its own comparison row with INVERTED semantics — current
+latency more than --max-latency-regression above baseline fails, lower
+latency is an improvement. p50 rides along in the report but is not gated
+(medians move with machine load; tails are the robustness contract).
+
 A missing baseline file is a soft pass (exit 0): the first PR that adds a
 benchmark cannot have a baseline for it yet.
 
@@ -53,6 +60,26 @@ def throughput_by_name(report):
     return out
 
 
+# Tail percentiles gated as latency metrics (p50 is reported, not gated).
+GATED_PERCENTILES = ("p99_us", "p999_us")
+
+
+def latency_by_name(report):
+    """Maps "bench [p99_us]"-style metric names to microsecond values for
+    every gated percentile a benchmark carries."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name")
+        percentiles = bench.get("percentiles") or {}
+        if not name:
+            continue
+        for key in GATED_PERCENTILES:
+            value = percentiles.get(key, 0.0)
+            if value > 0.0:
+                out[f"{name} [{key}]"] = value
+    return out
+
+
 def compare(base, cur, max_regression, min_improvement):
     """Compares throughput maps; returns rows of
     (name, baseline_ips, current_ips, ratio, status), sorted by name within
@@ -76,7 +103,29 @@ def compare(base, cur, max_regression, min_improvement):
     return rows
 
 
-def render_text(rows, max_regression, min_improvement):
+def compare_latency(base, cur, max_regression, min_improvement):
+    """compare() with inverted semantics for latency metrics: the ratio is
+    still current/baseline, but a ratio ABOVE 1 + max_regression is the
+    regression and one below 1 - min_improvement is the improvement."""
+    rows = []
+    for name in sorted(base):
+        if name not in cur:
+            rows.append((name, base[name], None, None, STATUS_MISSING))
+            continue
+        ratio = cur[name] / base[name]
+        if ratio > 1.0 + max_regression:
+            status = STATUS_REGRESSION
+        elif ratio < 1.0 - min_improvement:
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_OK
+        rows.append((name, base[name], cur[name], ratio, status))
+    for name in sorted(set(cur) - set(base)):
+        rows.append((name, None, cur[name], None, STATUS_NEW))
+    return rows
+
+
+def render_text(rows, max_regression, min_improvement, unit="items/s"):
     lines = []
     width = max((len(r[0]) for r in rows), default=0)
     for name, base_ips, cur_ips, ratio, status in rows:
@@ -92,15 +141,15 @@ def render_text(rows, max_regression, min_improvement):
             }[status]
             lines.append(
                 f"  {name:<{width}}  {base_ips:12.4g} -> {cur_ips:12.4g} "
-                f"items/s  ({ratio:6.2%}){marker}")
+                f"{unit}  ({ratio:6.2%}){marker}")
     return "\n".join(lines)
 
 
-def render_markdown(rows):
+def render_markdown(rows, unit="items/s", title="Benchmark comparison"):
     lines = [
-        "### Benchmark comparison",
+        f"### {title}",
         "",
-        "| benchmark | baseline items/s | current items/s | ratio | status |",
+        f"| benchmark | baseline {unit} | current {unit} | ratio | status |",
         "|---|---:|---:|---:|---|",
     ]
     emoji = {
@@ -120,12 +169,12 @@ def render_markdown(rows):
     return "\n".join(lines)
 
 
-def gate(rows, fail_on_missing):
+def gate(rows, fail_on_missing, metric="throughput"):
     """Returns (exit_code, list of failure description lines)."""
     failures = []
     for name, _, _, ratio, status in rows:
         if status == STATUS_REGRESSION:
-            failures.append(f"{name}: {ratio:.2%} of baseline throughput")
+            failures.append(f"{name}: {ratio:.2%} of baseline {metric}")
         elif status == STATUS_MISSING and fail_on_missing:
             failures.append(f"{name}: registered in baseline but missing "
                             "from the current run")
@@ -144,6 +193,10 @@ def main(argv=None):
     parser.add_argument("--min-improvement", type=float, default=0.25,
                         help="highlight gains larger than this fraction "
                              "(default 0.25; never fails)")
+    parser.add_argument("--max-latency-regression", type=float, default=0.5,
+                        help="fail if a gated tail percentile (p99/p999) "
+                             "grows by more than this fraction (default "
+                             "0.5; tails are noisier than medians)")
     parser.add_argument("--fail-on-missing", action="store_true",
                         help="fail if a baseline benchmark is absent from "
                              "the current run")
@@ -169,22 +222,39 @@ def main(argv=None):
                    args.max_regression, args.min_improvement)
     print(render_text(rows, args.max_regression, args.min_improvement))
 
+    latency_rows = compare_latency(
+        latency_by_name(baseline), latency_by_name(current),
+        args.max_latency_regression, args.min_improvement)
+    if latency_rows:
+        print("\n  tail latency (lower is better):")
+        print(render_text(latency_rows, args.max_latency_regression,
+                          args.min_improvement, unit="us"))
+
     if args.summary_out:
         with open(args.summary_out, "a", encoding="utf-8") as f:
             f.write(render_markdown(rows) + "\n")
+            if latency_rows:
+                f.write(render_markdown(latency_rows, unit="us",
+                                        title="Tail latency comparison") +
+                        "\n")
 
-    improved = sum(1 for r in rows if r[4] == STATUS_IMPROVED)
-    code, failures = gate(rows, args.fail_on_missing)
+    improved = sum(1 for r in rows + latency_rows
+                   if r[4] == STATUS_IMPROVED)
+    code_t, failures = gate(rows, args.fail_on_missing)
+    code_l, latency_failures = gate(latency_rows, args.fail_on_missing,
+                                    metric="latency (lower is better)")
+    failures += latency_failures
     if failures:
         print(f"\ncompare_bench: {len(failures)} failure(s):")
         for line in failures:
             print(f"  {line}")
-        return code
-    shared = sum(1 for r in rows if r[4] in
+        return max(code_t, code_l)
+    shared = sum(1 for r in rows + latency_rows if r[4] in
                  (STATUS_OK, STATUS_IMPROVED, STATUS_REGRESSION))
-    print(f"\ncompare_bench: OK ({shared} compared benchmark(s), none "
-          f"regressed more than {args.max_regression:.0%}, "
-          f"{improved} improved more than {args.min_improvement:.0%})")
+    print(f"\ncompare_bench: OK ({shared} compared metric(s), none "
+          f"regressed more than {args.max_regression:.0%} throughput / "
+          f"{args.max_latency_regression:.0%} tail latency, "
+          f"{improved} improved)")
     return 0
 
 

@@ -12,21 +12,27 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import compare_bench  # noqa: E402
 
 
-def report(benches, quick=False):
+def report(benches, quick=False, percentiles=None):
+    """percentiles: optional {bench_name: {"p99_us": ..., ...}} attached to
+    the matching benchmark entries."""
+    entries = []
+    for name, ips in benches:
+        entry = {"name": name, "items_per_s": ips}
+        if percentiles and name in percentiles:
+            entry["percentiles"] = percentiles[name]
+        entries.append(entry)
     return {
         "schema": "tcast-bench-v1",
         "git_sha": "deadbeef",
         "host": {},
         "quick": quick,
-        "benchmarks": [
-            {"name": name, "items_per_s": ips} for name, ips in benches
-        ],
+        "benchmarks": entries,
     }
 
 
-def write_report(path, benches, quick=False):
+def write_report(path, benches, quick=False, percentiles=None):
     with open(path, "w", encoding="utf-8") as f:
-        json.dump(report(benches, quick), f)
+        json.dump(report(benches, quick, percentiles), f)
 
 
 class ThroughputByName(unittest.TestCase):
@@ -62,6 +68,45 @@ class Compare(unittest.TestCase):
     def test_ratio_computed_against_baseline(self):
         rows = compare_bench.compare({"b": 50.0}, {"b": 100.0}, 0.25, 0.25)
         self.assertAlmostEqual(rows[0][3], 2.0)
+
+
+class LatencyByName(unittest.TestCase):
+    def test_extracts_gated_percentiles_only(self):
+        r = report([("svc", 10.0), ("plain", 5.0)],
+                   percentiles={"svc": {"p50_us": 100.0, "p99_us": 900.0,
+                                        "p999_us": 2000.0}})
+        self.assertEqual(compare_bench.latency_by_name(r), {
+            "svc [p99_us]": 900.0,
+            "svc [p999_us]": 2000.0,
+        })
+
+    def test_zero_and_absent_percentiles_dropped(self):
+        r = report([("svc", 10.0)],
+                   percentiles={"svc": {"p99_us": 0.0}})
+        self.assertEqual(compare_bench.latency_by_name(r), {})
+
+
+class CompareLatency(unittest.TestCase):
+    def test_semantics_are_inverted(self):
+        # Latency GROWTH beyond the threshold is the regression; shrinkage
+        # is the improvement — the mirror image of throughput.
+        base = {"steady [p99_us]": 100.0, "slower [p99_us]": 100.0,
+                "faster [p99_us]": 100.0}
+        cur = {"steady [p99_us]": 120.0, "slower [p99_us]": 200.0,
+               "faster [p99_us]": 40.0}
+        rows = compare_bench.compare_latency(base, cur, max_regression=0.5,
+                                             min_improvement=0.25)
+        status = {name: s for name, _, _, _, s in rows}
+        self.assertEqual(status, {
+            "steady [p99_us]": compare_bench.STATUS_OK,
+            "slower [p99_us]": compare_bench.STATUS_REGRESSION,
+            "faster [p99_us]": compare_bench.STATUS_IMPROVED,
+        })
+
+    def test_boundary_is_not_a_regression(self):
+        rows = compare_bench.compare_latency({"b": 100.0}, {"b": 150.0},
+                                             0.5, 0.25)
+        self.assertEqual(rows[0][4], compare_bench.STATUS_OK)
 
 
 class Gate(unittest.TestCase):
@@ -137,6 +182,23 @@ class MainEndToEnd(unittest.TestCase):
             self.assertTrue(text.startswith("existing content\n"))
             self.assertIn("Benchmark comparison", text)
             self.assertIn("| `a` |", text)
+
+    def test_tail_latency_regression_gates_ci(self):
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            write_report(base, [("svc", 100.0)],
+                         percentiles={"svc": {"p99_us": 1000.0}})
+            # Same throughput, tail latency tripled: only the latency gate
+            # can catch this.
+            write_report(cur, [("svc", 100.0)],
+                         percentiles={"svc": {"p99_us": 3000.0}})
+            self.assertEqual(
+                self.run_main("--baseline", base, "--current", cur), 1)
+            # A generous threshold lets it through.
+            self.assertEqual(
+                self.run_main("--baseline", base, "--current", cur,
+                              "--max-latency-regression", "9.0"), 0)
 
     def test_bad_schema_raises(self):
         with tempfile.TemporaryDirectory() as d:

@@ -24,6 +24,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/simd_kernels.hpp"
 #include "common/types.hpp"
 
 namespace tcast {
@@ -89,22 +90,34 @@ class NodeSet {
     return true;
   }
 
+  /// Images at or below this many words (512 nodes) take the inlined scalar
+  /// loop: the out-of-line SIMD dispatch costs more than the loop itself at
+  /// small universes, and every variant is bit-identical anyway.
+  static constexpr std::size_t kInlineWords = 8;
+
   /// Do two word images share a member? Lengths may differ: a shorter image
-  /// simply has no members beyond its last word.
+  /// simply has no members beyond its last word. Wide images dispatch to
+  /// the SIMD kernel layer (common/simd_kernels.hpp).
   static bool intersects(std::span<const Word> a, std::span<const Word> b) {
     const std::size_t n = a.size() < b.size() ? a.size() : b.size();
-    for (std::size_t i = 0; i < n; ++i)
-      if (a[i] & b[i]) return true;
-    return false;
+    if (n <= kInlineWords) {
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] & b[i]) return true;
+      return false;
+    }
+    return simd::words_intersect(a.data(), b.data(), n);
   }
 
   static std::size_t intersection_count(std::span<const Word> a,
                                         std::span<const Word> b) {
     const std::size_t n = a.size() < b.size() ? a.size() : b.size();
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
-    return total;
+    if (n <= kInlineWords) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+      return total;
+    }
+    return simd::words_and_popcount(a.data(), b.data(), n);
   }
 
   /// Smallest member, or kNoNode when empty.
@@ -161,15 +174,33 @@ class NodeSet {
   std::size_t remove_words(std::span<const Word> other) {
     const std::size_t n =
         other.size() < words_.size() ? other.size() : words_.size();
-    std::size_t removed = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const Word hit = words_[i] & other[i];
-      if (hit == 0) continue;
-      removed += static_cast<std::size_t>(std::popcount(hit));
-      words_[i] &= ~hit;
+    std::size_t removed;
+    if (n <= kInlineWords) {
+      removed = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        removed += static_cast<std::size_t>(std::popcount(words_[i] & other[i]));
+        words_[i] &= ~other[i];
+      }
+    } else {
+      removed = simd::words_andnot_count(words_.data(), other.data(), n);
     }
     count_ -= removed;
     return removed;
+  }
+
+  /// Bulk-inserts the id range [0, n) into an empty set — the structure-of-
+  /// arrays fast path for "everyone is alive" universes, replacing n
+  /// single-bit inserts with a word-image prefix fill. Requires n ≤
+  /// universe() and an empty set (the caller owns duplicate detection).
+  void fill_prefix(std::size_t n) {
+    TCAST_CHECK(count_ == 0);
+    TCAST_CHECK(n <= universe_);
+    const std::size_t full = n / kWordBits;
+    for (std::size_t i = 0; i < full; ++i) words_[i] = ~Word{0};
+    if (n % kWordBits != 0) {
+      words_[full] = (Word{1} << (n % kWordBits)) - 1;
+    }
+    count_ = n;
   }
 
  private:

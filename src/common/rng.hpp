@@ -29,6 +29,42 @@
 
 namespace tcast {
 
+namespace detail {
+
+// GCC/Clang always provide __int128 on 64-bit targets; __extension__
+// silences -Wpedantic about it being non-ISO.
+__extension__ using Uint128 = unsigned __int128;
+
+/// Cached reciprocal m = floor(2^64 / bound) and rejection threshold
+/// 2^64 mod bound for the division-free uniform_below fast path. One
+/// 64-bit division ever per (thread, cache slot, bound); the Monte-Carlo
+/// hot loops (Fisher-Yates over a fixed n, positive-set sampling)
+/// re-request the same descending bound sequence every trial, so after the
+/// first trial every lookup hits. Direct-mapped, statically
+/// zero-initialized (bound 0 is rejected before lookup, so the empty slot
+/// never false-hits), no heap — the perf-tier allocation audit counts on
+/// that.
+struct Reciprocal {
+  std::uint64_t bound;
+  std::uint64_t m;
+  std::uint64_t threshold;
+};
+
+inline const Reciprocal& reciprocal_for(std::uint64_t bound) {
+  constexpr std::size_t kSlots = 4096;  // covers bounds 2..4097 collision-free
+  thread_local Reciprocal cache[kSlots];
+  Reciprocal& e = cache[bound & (kSlots - 1)];
+  if (e.bound != bound) {
+    e.bound = bound;
+    e.m = ~std::uint64_t{0} / bound;
+    // 2^64 mod bound = 2^64 - m·bound, in wrapping u64 arithmetic.
+    e.threshold = 0 - e.m * bound;
+  }
+  return e;
+}
+
+}  // namespace detail
+
 /// SplitMix64: used for state expansion / hashing seeds, not as a main engine.
 class SplitMix64 {
  public:
@@ -94,11 +130,39 @@ class RngStream {
   /// Raw 64 random bits.
   std::uint64_t bits() { return engine_(); }
 
-  /// Uniform integer in [0, bound). Lemire's unbiased multiply-shift method.
+  /// Uniform integer in [0, bound), exactly unbiased. Division-free: the
+  /// classic rejection loop with the threshold and modulo evaluated through
+  /// a cached reciprocal (detail::reciprocal_for). Draw-for-draw identical
+  /// to uniform_below_reference — same engine draws consumed, same values
+  /// returned, for every bound — which rng_test proves exhaustively at the
+  /// edge bounds and randomly in between.
   std::uint64_t uniform_below(std::uint64_t bound) {
     TCAST_CHECK(bound > 0);
-    // Rejection-free path is fine statistically for bound << 2^64; use
-    // classic rejection to stay exactly unbiased.
+    if ((bound & (bound - 1)) == 0) {
+      // Power of two (including 1): 2^64 mod bound == 0, so the first draw
+      // is always accepted and the modulo is a mask.
+      return engine_() & (bound - 1);
+    }
+    const detail::Reciprocal& rec = detail::reciprocal_for(bound);
+    const std::uint64_t m = rec.m;
+    for (;;) {
+      const std::uint64_t r = engine_();
+      if (r < rec.threshold) continue;
+      // q̂ = floor(r·m / 2^64) ∈ {q-1, q} for the true quotient q = r/bound
+      // (proof: m = (2^64-θ)/bound with θ < bound, so r·m/2^64 lies in
+      // (r/bound - 1, r/bound]), hence one conditional subtract corrects.
+      const std::uint64_t qhat = static_cast<std::uint64_t>(
+          (static_cast<detail::Uint128>(r) * m) >> 64);
+      std::uint64_t rem = r - qhat * bound;
+      if (rem >= bound) rem -= bound;
+      return rem;
+    }
+  }
+
+  /// The historical two-division rejection loop, kept verbatim as the
+  /// draw-compatibility oracle for uniform_below (tests only).
+  std::uint64_t uniform_below_reference(std::uint64_t bound) {
+    TCAST_CHECK(bound > 0);
     const std::uint64_t threshold = (0 - bound) % bound;
     for (;;) {
       const std::uint64_t r = engine_();

@@ -42,9 +42,15 @@ ThresholdOutcome run_abns(group::QueryChannel& channel,
                           std::span<const NodeId> participants, std::size_t t,
                           RngStream& rng, AbnsOptions abns,
                           const EngineOptions& opts) {
+  RoundEngine engine(channel, rng, opts);
+  return run_abns(engine, participants, t, abns);
+}
+
+ThresholdOutcome run_abns(RoundEngine& engine,
+                          std::span<const NodeId> participants, std::size_t t,
+                          AbnsOptions abns) {
   if (abns.p0 <= 0.0) abns.p0 = 2.0 * static_cast<double>(t);
   AbnsPolicy policy(abns);
-  RoundEngine engine(channel, rng, opts);
   return engine.run(participants, t, policy);
 }
 

@@ -38,4 +38,11 @@ ThresholdOutcome run_abns(group::QueryChannel& channel,
                           RngStream& rng, AbnsOptions abns = {},
                           const EngineOptions& opts = {});
 
+/// Lane-reuse variant: the same session on a caller-owned engine (already
+/// rebind()-targeted), recycling its round workspaces across trials.
+/// Outcome- and draw-identical to the channel overload.
+ThresholdOutcome run_abns(RoundEngine& engine,
+                          std::span<const NodeId> participants, std::size_t t,
+                          AbnsOptions abns = {});
+
 }  // namespace tcast::core

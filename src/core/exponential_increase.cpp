@@ -56,9 +56,8 @@ std::size_t FourFoldPolicy::next_bins(const RoundStats& stats,
 ThresholdOutcome run_exponential_increase(
     group::QueryChannel& channel, std::span<const NodeId> participants,
     std::size_t t, RngStream& rng, const EngineOptions& opts) {
-  ExponentialIncreasePolicy policy;
   RoundEngine engine(channel, rng, opts);
-  return engine.run(participants, t, policy);
+  return run_exponential_increase(engine, participants, t);
 }
 
 ThresholdOutcome run_pause_and_continue(group::QueryChannel& channel,
@@ -66,17 +65,36 @@ ThresholdOutcome run_pause_and_continue(group::QueryChannel& channel,
                                         std::size_t t, RngStream& rng,
                                         const EngineOptions& opts,
                                         double pause_fraction) {
-  PauseAndContinuePolicy policy(pause_fraction);
   RoundEngine engine(channel, rng, opts);
-  return engine.run(participants, t, policy);
+  return run_pause_and_continue(engine, participants, t, pause_fraction);
 }
 
 ThresholdOutcome run_four_fold(group::QueryChannel& channel,
                                std::span<const NodeId> participants,
                                std::size_t t, RngStream& rng,
                                const EngineOptions& opts) {
-  FourFoldPolicy policy;
   RoundEngine engine(channel, rng, opts);
+  return run_four_fold(engine, participants, t);
+}
+
+ThresholdOutcome run_exponential_increase(RoundEngine& engine,
+                                          std::span<const NodeId> participants,
+                                          std::size_t t) {
+  ExponentialIncreasePolicy policy;
+  return engine.run(participants, t, policy);
+}
+
+ThresholdOutcome run_pause_and_continue(RoundEngine& engine,
+                                        std::span<const NodeId> participants,
+                                        std::size_t t, double pause_fraction) {
+  PauseAndContinuePolicy policy(pause_fraction);
+  return engine.run(participants, t, policy);
+}
+
+ThresholdOutcome run_four_fold(RoundEngine& engine,
+                               std::span<const NodeId> participants,
+                               std::size_t t) {
+  FourFoldPolicy policy;
   return engine.run(participants, t, policy);
 }
 

@@ -54,4 +54,18 @@ ThresholdOutcome run_four_fold(group::QueryChannel& channel,
                                std::size_t t, RngStream& rng,
                                const EngineOptions& opts = {});
 
+/// Lane-reuse variants: the same sessions on a caller-owned engine
+/// (already rebind()-targeted), recycling its round workspaces across
+/// trials. Outcome- and draw-identical to the channel overloads.
+ThresholdOutcome run_exponential_increase(RoundEngine& engine,
+                                          std::span<const NodeId> participants,
+                                          std::size_t t);
+ThresholdOutcome run_pause_and_continue(RoundEngine& engine,
+                                        std::span<const NodeId> participants,
+                                        std::size_t t,
+                                        double pause_fraction = 0.5);
+ThresholdOutcome run_four_fold(RoundEngine& engine,
+                               std::span<const NodeId> participants,
+                               std::size_t t);
+
 }  // namespace tcast::core

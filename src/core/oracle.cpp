@@ -32,8 +32,14 @@ ThresholdOutcome run_oracle(group::QueryChannel& channel,
                             std::span<const NodeId> participants,
                             std::size_t t, RngStream& rng,
                             const EngineOptions& opts) {
-  OraclePolicy policy(channel);
   RoundEngine engine(channel, rng, opts);
+  return run_oracle(engine, participants, t);
+}
+
+ThresholdOutcome run_oracle(RoundEngine& engine,
+                            std::span<const NodeId> participants,
+                            std::size_t t) {
+  OraclePolicy policy(engine.channel());
   return engine.run(participants, t, policy);
 }
 

@@ -24,6 +24,15 @@ struct AlgorithmSpec {
                                  std::span<const NodeId>, std::size_t,
                                  RngStream&, const EngineOptions&)>
       run;
+  /// Optional engine-reuse entry point: runs the algorithm on a
+  /// caller-owned, already rebind()-targeted RoundEngine so tight trial
+  /// loops (sweep lanes) can recycle round workspaces instead of paying a
+  /// fresh engine construction per trial. Draw- and outcome-identical to
+  /// `run`. Null for algorithms that don't route through a single engine
+  /// session (prob-abns, count:*).
+  std::function<ThresholdOutcome(RoundEngine&, std::span<const NodeId>,
+                                 std::size_t)>
+      run_with_engine;
 };
 
 /// All registered algorithms, in presentation order.

@@ -66,7 +66,7 @@ std::size_t RoundEngine::clamp_bins(std::size_t b,
   return std::clamp<std::size_t>(b, 1, std::max<std::size_t>(1, candidates));
 }
 
-void RoundEngine::make_assignment(std::span<const NodeId> candidates,
+void RoundEngine::make_assignment(std::span<NodeId> candidates,
                                   std::size_t bins,
                                   group::BinAssignment& out) {
   switch (opts_.scheme) {
@@ -76,25 +76,45 @@ void RoundEngine::make_assignment(std::span<const NodeId> candidates,
     case BinningScheme::kRandomEqual:
       break;
   }
-  out.assign_random_equal(candidates, bins, *rng_);
+  // In-place: candidates_ is rebuilt from the alive words after every
+  // round, so permuting it here is free (and skips the scratch copy).
+  out.assign_random_equal_inplace(candidates, bins, *rng_);
 }
 
 void RoundEngine::query_order(const group::BinAssignment& a,
                               std::vector<std::size_t>& order) const {
-  order.resize(a.bin_count());
+  const std::size_t bins = a.bin_count();
+  order.resize(bins);
+  if (opts_.ordering != BinOrdering::kNonEmptyFirst) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    return;
+  }
+  // Stable two-bucket partition on a 0/1 key — exactly what the historical
+  // stable_sort(nonempty desc) produced, in one linear pass: non-empty bins
+  // in index order, then empty bins in index order. Channels with a batched
+  // whole-assignment count cache answer both passes from one array (which
+  // writes every order slot, so no iota prefill needed).
+  if (const std::uint32_t* counts = channel_->oracle_bin_counts(a)) {
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < bins; ++i)
+      if (counts[i] != 0) order[next++] = i;
+    for (std::size_t i = 0; i < bins; ++i)
+      if (counts[i] == 0) order[next++] = i;
+    return;
+  }
   std::iota(order.begin(), order.end(), std::size_t{0});
-  if (opts_.ordering != BinOrdering::kNonEmptyFirst) return;
   // Idealised accounting needs ground truth; degrade gracefully without it.
-  nonempty_.assign(a.bin_count(), 0);
-  for (std::size_t i = 0; i < a.bin_count(); ++i) {
+  nonempty_.assign(bins, 0);
+  for (std::size_t i = 0; i < bins; ++i) {
     const auto count = channel_->oracle_positive_count(a, i);
     if (!count) return;  // realistic channel: natural order
     nonempty_[i] = *count > 0 ? 1 : 0;
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t lhs, std::size_t rhs) {
-                     return nonempty_[lhs] > nonempty_[rhs];
-                   });
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < bins; ++i)
+    if (nonempty_[i]) order[next++] = i;
+  for (std::size_t i = 0; i < bins; ++i)
+    if (!nonempty_[i]) order[next++] = i;
 }
 
 ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
@@ -123,12 +143,24 @@ ThresholdOutcome RoundEngine::run(std::span<const NodeId> participants,
 
   // Alive set as packed words: removal is a bit clear, and disposing a whole
   // silent bin is a word-level ANDNOT against the assignment's bin image.
-  NodeId max_id = 0;
-  for (const NodeId id : participants) max_id = std::max(max_id, id);
-  alive_.reset(static_cast<std::size_t>(max_id) + 1);
-  for (const NodeId id : participants) alive_.insert(id);
-  TCAST_CHECK_MSG(alive_.count() == participants.size(),
-                  "duplicate participant ids");
+  // The common case — participants are exactly [0, n), the whole-universe
+  // span every channel hands out — is detected by one strictly-increasing
+  // scan (which also subsumes the duplicate check) and filled as whole
+  // words instead of n single-bit inserts.
+  bool iota = !participants.empty() && participants.front() == 0;
+  for (std::size_t i = 1; iota && i < participants.size(); ++i)
+    iota = participants[i] == static_cast<NodeId>(i);
+  if (iota) {
+    alive_.reset(participants.size());
+    alive_.fill_prefix(participants.size());
+  } else {
+    NodeId max_id = 0;
+    for (const NodeId id : participants) max_id = std::max(max_id, id);
+    alive_.reset(static_cast<std::size_t>(max_id) + 1);
+    for (const NodeId id : participants) alive_.insert(id);
+    TCAST_CHECK_MSG(alive_.count() == participants.size(),
+                    "duplicate participant ids");
+  }
   std::size_t alive_count = participants.size();
   candidates_.assign(participants.begin(), participants.end());
 

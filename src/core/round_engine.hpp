@@ -185,13 +185,29 @@ class RoundEngine {
   RoundEngine(group::QueryChannel& channel, RngStream& rng,
               EngineOptions opts = {});
 
+  /// Re-targets this engine at a new (channel, rng, options) triple while
+  /// keeping the allocated round workspaces — the Monte-Carlo lane reuse
+  /// behind the sweep engine's per-trial loop. run() fully re-initialises
+  /// every workspace, so a rebound engine is outcome- and draw-identical
+  /// to a freshly constructed one.
+  void rebind(group::QueryChannel& channel, RngStream& rng,
+              const EngineOptions& opts) {
+    channel_ = &channel;
+    rng_ = &rng;
+    opts_ = opts;
+  }
+
   /// Decides whether ≥ `threshold` of `participants` are positive.
   ThresholdOutcome run(std::span<const NodeId> participants,
                        std::size_t threshold, BinCountPolicy& policy);
 
+  /// The channel this engine currently targets (policies that need oracle
+  /// access, e.g. the oracle baseline, reach it through here).
+  group::QueryChannel& channel() const { return *channel_; }
+
  private:
   std::size_t clamp_bins(std::size_t b, std::size_t candidates) const;
-  void make_assignment(std::span<const NodeId> candidates, std::size_t bins,
+  void make_assignment(std::span<NodeId> candidates, std::size_t bins,
                        group::BinAssignment& out);
   void query_order(const group::BinAssignment& a,
                    std::vector<std::size_t>& order) const;

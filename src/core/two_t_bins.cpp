@@ -18,8 +18,14 @@ ThresholdOutcome run_two_t_bins(group::QueryChannel& channel,
                                 std::span<const NodeId> participants,
                                 std::size_t t, RngStream& rng,
                                 const EngineOptions& opts) {
-  TwoTBinsPolicy policy;
   RoundEngine engine(channel, rng, opts);
+  return run_two_t_bins(engine, participants, t);
+}
+
+ThresholdOutcome run_two_t_bins(RoundEngine& engine,
+                                std::span<const NodeId> participants,
+                                std::size_t t) {
+  TwoTBinsPolicy policy;
   return engine.run(participants, t, policy);
 }
 

@@ -25,4 +25,11 @@ ThresholdOutcome run_two_t_bins(group::QueryChannel& channel,
                                 std::size_t t, RngStream& rng,
                                 const EngineOptions& opts = {});
 
+/// Lane-reuse variant: the same session on a caller-owned engine (already
+/// rebind()-targeted), recycling its round workspaces across trials.
+/// Outcome- and draw-identical to the channel overload.
+ThresholdOutcome run_two_t_bins(RoundEngine& engine,
+                                std::span<const NodeId> participants,
+                                std::size_t t);
+
 }  // namespace tcast::core

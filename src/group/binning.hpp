@@ -52,6 +52,12 @@ class BinAssignment {
   /// assignment in place, keeping arena/offset/word capacity.
   void assign_random_equal(std::span<const NodeId> nodes, std::size_t bins,
                            RngStream& rng);
+  /// assign_random_equal for callers that own a mutable candidate buffer
+  /// they rebuild anyway (the round engine): permutes `nodes` in place
+  /// (Fisher-Yates, the exact shuffle draw sequence) instead of copying it
+  /// into the scratch buffer first. Identical bins and draws.
+  void assign_random_equal_inplace(std::span<NodeId> nodes, std::size_t bins,
+                                   RngStream& rng);
   void assign_contiguous(std::span<const NodeId> nodes, std::size_t bins);
   void assign_sampled(std::span<const NodeId> nodes, double inclusion_prob,
                       RngStream& rng);
@@ -77,6 +83,22 @@ class BinAssignment {
     return {words_.data() + i * words_per_bin_, words_per_bin_};
   }
 
+  /// The whole word image as one contiguous arena (bin i at stride
+  /// i·words_per_bin()) — the layout the batched SIMD bin-count kernel
+  /// consumes. Only meaningful when has_bin_words().
+  std::span<const NodeSet::Word> bin_words_arena() const {
+    TCAST_DCHECK(has_bin_words());
+    return {words_.data(), bin_count() * words_per_bin_};
+  }
+
+  /// Monotone globally-unique content version, bumped by every assign_*
+  /// call (including on a freshly default-constructed assignment). Channels
+  /// that cache per-announcement derived state (ExactChannel's batched bin
+  /// counts) key it on this, so an in-place re-assignment — or a different
+  /// assignment recycled at the same address — can never serve stale
+  /// counts.
+  std::uint64_t version() const { return version_; }
+
   /// Serialises to the on-air node→bin map carried by a Predicate frame.
   /// `universe` is the participant count (wire vector length); nodes not in
   /// any bin get rcd::kNotInRound (0xFFFF).
@@ -89,12 +111,21 @@ class BinAssignment {
 
  private:
   void build_words();
+  /// Fisher-Yates shuffle of `nodes` (exactly RngStream::shuffle's draw
+  /// sequence) fused with the round-robin deal and word-image build: each
+  /// element is dealt the moment the shuffle settles it, one walk total.
+  /// Produces exactly the arena/offsets/words that shuffle-then-
+  /// build_words() would.
+  void shuffle_deal_and_build_words(std::span<NodeId> nodes, std::size_t bins,
+                                    RngStream& rng);
+  void bump_version();
 
   std::vector<NodeId> arena_;          ///< members, grouped by bin
   std::vector<std::size_t> offsets_;   ///< bins+1 arena offsets
   std::vector<NodeId> scratch_;        ///< reused shuffle buffer
   std::vector<NodeSet::Word> words_;   ///< bins × words_per_bin_ image
   std::size_t words_per_bin_ = 0;      ///< 0 = no word image
+  std::uint64_t version_ = 0;          ///< 0 = never assigned
 };
 
 }  // namespace tcast::group

@@ -51,6 +51,7 @@ ExactChannel ExactChannel::with_random_positives(std::size_t n, std::size_t x,
 
 void ExactChannel::set_positive(NodeId id, bool value) {
   TCAST_CHECK(static_cast<std::size_t>(id) < positive_.universe());
+  counts_valid_ = false;
   if (value)
     positive_.insert(id);
   else
@@ -60,6 +61,7 @@ void ExactChannel::set_positive(NodeId id, bool value) {
 void ExactChannel::assign_random_positives(std::size_t x, RngStream& rng) {
   const std::size_t n = positive_.universe();
   TCAST_CHECK(x <= n);
+  counts_valid_ = false;
   positive_.clear();
   // Exactly the draw sequence of rng.sample_subset(n, x): a partial
   // Fisher-Yates over an iota pool, x draws of uniform_below(n - i). The
@@ -86,9 +88,41 @@ std::optional<std::size_t> ExactChannel::oracle_positive_count(
 
 std::optional<std::size_t> ExactChannel::oracle_positive_count(
     const BinAssignment& a, std::size_t idx) const {
+  if (const std::uint32_t* counts = cached_bin_counts(a)) return counts[idx];
   if (a.has_bin_words())
     return NodeSet::intersection_count(positive_.words(), a.bin_words(idx));
   return oracle_positive_count(a.bin(idx));
+}
+
+const std::uint32_t* ExactChannel::oracle_bin_counts(
+    const BinAssignment& a) const {
+  return cached_bin_counts(a);
+}
+
+void ExactChannel::do_announce(const BinAssignment& a) {
+  announced_version_ = a.version();
+  counts_valid_ = false;
+}
+
+const std::uint32_t* ExactChannel::cached_bin_counts(
+    const BinAssignment& a) const {
+  if (!fast_path_ || !a.has_bin_words()) return nullptr;
+  // Versions are globally unique per assign event, so matching the
+  // announced version proves `a` carries exactly the announced content —
+  // even if it is a different object, or the announced one was re-assigned
+  // in place since.
+  if (a.version() != announced_version_ || announced_version_ == 0)
+    return nullptr;
+  if (!counts_valid_) {
+    counts_.resize(a.bin_count());
+    const auto pos = positive_.words();
+    simd::bin_intersection_counts(pos.data(), pos.size(),
+                                  a.bin_words_arena().data(),
+                                  a.words_per_bin(), a.bin_count(),
+                                  counts_.data());
+    counts_valid_ = true;
+  }
+  return counts_.data();
 }
 
 BinQueryResult ExactChannel::resolve(std::size_t positives,
@@ -133,6 +167,21 @@ BinQueryResult ExactChannel::query_set_reference(
 BinQueryResult ExactChannel::do_query_bin(const BinAssignment& a,
                                           std::size_t idx) {
   if (!fast_path_) return query_set_reference(a.bin(idx));
+  // Hot path: counts already materialized for this exact announcement
+  // (versions are globally unique, so the compare alone proves `a` is the
+  // announced content). Skips the full re-validation in cached_bin_counts.
+  if (counts_valid_ && a.version() == announced_version_) {
+    const std::size_t k = counts_[idx];
+    if (model() == CollisionModel::kOnePlus)
+      return k > 0 ? BinQueryResult::activity() : BinQueryResult::empty();
+    return resolve(k, a.bin(idx));
+  }
+  if (const std::uint32_t* counts = cached_bin_counts(a)) {
+    const std::size_t k = counts[idx];
+    if (model() == CollisionModel::kOnePlus)
+      return k > 0 ? BinQueryResult::activity() : BinQueryResult::empty();
+    return resolve(k, a.bin(idx));
+  }
   if (a.has_bin_words()) {
     const auto image = a.bin_words(idx);
     if (model() == CollisionModel::kOnePlus)

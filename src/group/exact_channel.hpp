@@ -77,8 +77,10 @@ class ExactChannel final : public QueryChannel {
       std::span<const NodeId> nodes) const override;
   std::optional<std::size_t> oracle_positive_count(
       const BinAssignment& a, std::size_t idx) const override;
+  const std::uint32_t* oracle_bin_counts(const BinAssignment& a) const override;
 
  protected:
+  void do_announce(const BinAssignment& a) override;
   BinQueryResult do_query_bin(const BinAssignment& a,
                               std::size_t idx) override;
   BinQueryResult do_query_set(std::span<const NodeId> nodes) override;
@@ -93,12 +95,30 @@ class ExactChannel final : public QueryChannel {
   BinQueryResult resolve(std::size_t positives, std::span<const NodeId> bin);
   BinQueryResult query_set_reference(std::span<const NodeId> nodes);
 
+  /// Per-announcement SoA cache: every bin's positive count, batched
+  /// through the SIMD bin-count kernel on first use after announce() and
+  /// then served as array lookups — the oracle ordering pass and the query
+  /// loop each touch every bin, so one vector pass replaces 2·bins word
+  /// walks. Returns nullptr (and the callers fall back to the per-bin
+  /// kernels) unless the fast path is on, `a` has a word image, and `a` is
+  /// the currently announced assignment at its announced version — an
+  /// assignment mutated or recycled since its announce() can never serve
+  /// stale counts. Invalidated by any ground-truth mutation. Consumes no
+  /// RNG, so cached and uncached runs stay draw-for-draw identical.
+  const std::uint32_t* cached_bin_counts(const BinAssignment& a) const;
+
   NodeSet positive_;
   std::vector<NodeId> nodes_;         ///< cached [0, n)
   std::vector<NodeId> pool_scratch_;  ///< assign_random_positives() reuse
   RngStream* rng_;
   std::shared_ptr<radio::CaptureModel> capture_;
   bool fast_path_;
+  /// cached_bin_counts() state (see above). `counts_` is mutable because
+  /// the materialization point is the const oracle-count hook; the channel
+  /// is single-threaded by contract (the query counter already is).
+  std::uint64_t announced_version_ = 0;  ///< 0 = nothing announced yet
+  mutable std::vector<std::uint32_t> counts_;
+  mutable bool counts_valid_ = false;
 };
 
 }  // namespace tcast::group

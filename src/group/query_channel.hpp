@@ -131,6 +131,17 @@ class QueryChannel {
     return oracle_positive_count(a.bin(idx));
   }
 
+  /// Bulk variant of the bin-indexed oracle hook: every bin's positive
+  /// count as one contiguous array (bin i at index i, valid until the next
+  /// mutation of channel or assignment), or nullptr when this channel has
+  /// no cheap whole-assignment answer. Channels that batch their counts per
+  /// announcement (the exact tier) serve the cached array; callers must
+  /// fall back to per-bin oracle_positive_count on nullptr.
+  virtual const std::uint32_t* oracle_bin_counts(const BinAssignment& a) const {
+    (void)a;
+    return nullptr;
+  }
+
   /// Frame-level fault hooks, when this channel can honour them (the packet
   /// tier). nullptr means fault injectors must fall back to query-level
   /// semantics (filtering crashed nodes out of the queried set). Decorators

@@ -19,6 +19,7 @@ namespace {
 struct Workspace {
   std::uint64_t generation = 0;
   std::unique_ptr<group::ExactChannel> channel;
+  std::unique_ptr<core::RoundEngine> engine;
 };
 
 thread_local Workspace t_workspace;
@@ -53,6 +54,7 @@ QuerySweepResult run_query_sweep(const QuerySweepSpec& spec) {
         if (ws.generation != generation || !ws.channel) {
           ws.channel = std::make_unique<group::ExactChannel>(
               std::vector<bool>(spec.n, false), rng, spec.channel);
+          ws.engine.reset();
           ws.generation = generation;
         }
         group::ExactChannel& channel = *ws.channel;
@@ -61,8 +63,23 @@ QuerySweepResult run_query_sweep(const QuerySweepSpec& spec) {
         channel.assign_random_positives(point.x, rng);
         channel.reset_query_counter();
 
-        const auto outcome = algo->run(channel, channel.all_nodes(), point.t,
-                                       rng, spec.engine);
+        core::ThresholdOutcome outcome;
+        if (algo->run_with_engine) {
+          // Recycle the engine's round workspaces across trials; run()
+          // fully re-initialises them, so this is draw- and
+          // outcome-identical to a fresh engine per trial.
+          if (!ws.engine) {
+            ws.engine = std::make_unique<core::RoundEngine>(channel, rng,
+                                                            spec.engine);
+          }
+          ws.engine->rebind(channel, rng, spec.engine);
+          outcome =
+              algo->run_with_engine(*ws.engine, channel.all_nodes(), point.t);
+        } else {
+          outcome =
+              algo->run(channel, channel.all_nodes(), point.t, rng,
+                        spec.engine);
+        }
         data[flat] = static_cast<double>(outcome.queries);
       },
       spec.pool);

@@ -20,8 +20,24 @@ void Channel::attach(Radio& r) {
 
 void Channel::detach(Radio& r) {
   std::erase(radios_, &r);
+  for (auto& [radio, rec] : receptions_)
+    if (radio == &r)
+      for (Tx* t : rec.frames) release_tx(t);
   std::erase_if(receptions_,
                 [&r](const auto& entry) { return entry.first == &r; });
+}
+
+Channel::Tx* Channel::acquire_tx() {
+  if (tx_free_.empty())
+    tx_free_.push_back(tx_pool_.emplace_back(std::make_unique<Tx>()).get());
+  Tx* tx = tx_free_.back();
+  tx_free_.pop_back();
+  return tx;
+}
+
+void Channel::release_tx(Tx* tx) {
+  TCAST_CHECK(tx->refs > 0);
+  if (--tx->refs == 0) tx_free_.push_back(tx);
 }
 
 Channel::Reception& Channel::reception(Radio& r) {
@@ -47,8 +63,12 @@ bool Channel::busy_near(const Radio& listener) const {
 void Channel::begin_transmission(Radio& sender, Frame f) {
   const SimTime now = sim_->now();
   const SimTime air = airtime(f);
-  auto tx = std::make_shared<const Tx>(
-      Tx{&sender, std::move(f), now, now + air});
+  Tx* tx = acquire_tx();
+  tx->sender = &sender;
+  tx->frame = std::move(f);
+  tx->start = now;
+  tx->end = now + air;
+  tx->refs = 1;  // the pending end event
   ++active_;
   // Fold the frame into the busy period of every radio that can hear it.
   for (auto& [radio, rec] : receptions_) {
@@ -65,12 +85,15 @@ void Channel::begin_transmission(Radio& sender, Frame f) {
       rec.sent_own = true;
     }
     rec.frames.push_back(tx);
+    ++tx->refs;
     ++rec.on_air;
   }
+  // [this, tx] fits std::function's inline buffer — a by-value Tx (or a
+  // shared_ptr) would cost one heap closure per transmission.
   sim_->schedule_at(tx->end, [this, tx] { on_transmission_end(tx); });
 }
 
-void Channel::on_transmission_end(const std::shared_ptr<const Tx>& tx) {
+void Channel::on_transmission_end(Tx* tx) {
   TCAST_CHECK(active_ > 0);
   --active_;
   if (active_ == 0) ++clusters_resolved_;  // a global busy period drained
@@ -80,11 +103,21 @@ void Channel::on_transmission_end(const std::shared_ptr<const Tx>& tx) {
     TCAST_CHECK(rec.on_air > 0);
     --rec.on_air;
     if (rec.on_air == 0) {
-      Reception finished = std::move(rec);
-      rec = Reception{};
+      // Swap the drained period out before resolving (delivery handlers may
+      // transmit and open a fresh period on this very radio), then park the
+      // frame vector in the spare so the next period reuses its capacity.
+      Reception finished = std::move(spare_rec_);
+      std::swap(finished, rec);
       resolve_reception(*radio, finished);
+      for (Tx* t : finished.frames) release_tx(t);
+      finished.frames.clear();
+      finished.start = 0;
+      finished.on_air = 0;
+      finished.sent_own = false;
+      spare_rec_ = std::move(finished);
     }
   }
+  release_tx(tx);
 }
 
 void Channel::resolve_reception(Radio& r, Reception& rec) {
@@ -97,11 +130,9 @@ void Channel::resolve_reception(Radio& r, Reception& rec) {
   const std::size_t k = rec.frames.size();
   RngStream& rng = sim_->rng();
   const bool all_identical_hacks =
-      std::all_of(rec.frames.begin(), rec.frames.end(),
-                  [&](const std::shared_ptr<const Tx>& tx) {
-                    return hacks_identical(tx->frame,
-                                           rec.frames.front()->frame);
-                  });
+      std::all_of(rec.frames.begin(), rec.frames.end(), [&](const Tx* tx) {
+        return hacks_identical(tx->frame, rec.frames.front()->frame);
+      });
   if (all_identical_hacks && k > 1) {
     if (cfg_.hack.decodes(k, rng)) {
       RxInfo info{.superposed = k, .contenders = k, .captured = false,

@@ -102,10 +102,11 @@ class Channel {
 
  private:
   struct Tx {
-    Radio* sender;
+    Radio* sender = nullptr;
     Frame frame;
-    SimTime start;
-    SimTime end;
+    SimTime start = 0;
+    SimTime end = 0;
+    std::uint32_t refs = 0;  ///< pending end event + receptions holding it
   };
 
   /// Per-receiver busy-period state.
@@ -113,10 +114,12 @@ class Channel {
     SimTime start = 0;
     std::size_t on_air = 0;   ///< audible foreign frames still transmitting
     bool sent_own = false;    ///< this radio transmitted during the period
-    std::vector<std::shared_ptr<const Tx>> frames;
+    std::vector<Tx*> frames;  ///< pool-owned; ref-held until resolved
   };
 
-  void on_transmission_end(const std::shared_ptr<const Tx>& tx);
+  Tx* acquire_tx();
+  void release_tx(Tx* tx);
+  void on_transmission_end(Tx* tx);
   void resolve_reception(Radio& r, Reception& rec);
 
   sim::Simulator* sim_;
@@ -125,6 +128,16 @@ class Channel {
   std::vector<std::pair<Radio*, Reception>> receptions_;  ///< by attach order
   std::size_t active_ = 0;  ///< transmissions on the air anywhere
   std::uint64_t clusters_resolved_ = 0;
+
+  // Transmission pool: Tx objects (and their frames' payload capacity) are
+  // recycled through a free list instead of allocated per transmission, and
+  // a drained busy period parks its frame vector in `spare_rec_` so the
+  // next period reuses the capacity. Together with the event queue's slot
+  // pool this keeps the steady-state poll exchange heap-silent — audited
+  // by tests/perf/alloc_audit_test.cpp.
+  std::vector<std::unique_ptr<Tx>> tx_pool_;
+  std::vector<Tx*> tx_free_;
+  Reception spare_rec_;
 
   Reception& reception(Radio& r);
 };

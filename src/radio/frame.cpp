@@ -56,12 +56,14 @@ bool hacks_identical(const Frame& a, const Frame& b) {
          a.seq == b.seq;
 }
 
-Frame make_hack(const Frame& acked) {
+Frame make_hack(const Frame& acked) { return make_hack(acked.seq, acked.src); }
+
+Frame make_hack(std::uint8_t seq, ShortAddr dest) {
   Frame hack;
   hack.type = FrameType::kHack;
-  hack.seq = acked.seq;
+  hack.seq = seq;
   hack.src = 0;  // 802.15.4 ACKs carry no addresses
-  hack.dest = acked.src;
+  hack.dest = dest;
   return hack;
 }
 

@@ -68,4 +68,8 @@ bool hacks_identical(const Frame& a, const Frame& b);
 /// Builds the hardware ACK for a received frame.
 Frame make_hack(const Frame& acked);
 
+/// Same, from the only two fields a HACK derives from — lets deferred ACK
+/// events capture 3 bytes instead of a whole Frame.
+Frame make_hack(std::uint8_t seq, ShortAddr dest);
+
 }  // namespace tcast::radio

@@ -50,10 +50,14 @@ void Radio::channel_deliver(const Frame& f, const RxInfo& info) {
   // every matching receiver HACKs at exactly the same instant.
   if (auto_ack_ && f.ack_request && f.type != FrameType::kHack &&
       f.type != FrameType::kAck) {
-    const Frame hack = make_hack(f);
-    sim_->schedule_after(channel_->phy().turnaround, [this, hack] {
-      if (state_ == RadioState::kRx) transmit(hack);
-    });
+    // Capture only the fields the HACK derives from: a by-value Frame would
+    // push the closure past std::function's inline buffer and cost one heap
+    // allocation per acknowledgement.
+    sim_->schedule_after(channel_->phy().turnaround,
+                         [this, seq = f.seq, dest = f.src] {
+                           if (state_ == RadioState::kRx)
+                             transmit(make_hack(seq, dest));
+                         });
   }
   if (on_receive_) on_receive_(f, info);
 }

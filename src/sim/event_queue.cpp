@@ -14,7 +14,9 @@ constexpr std::size_t kReserve = 64;
 
 EventQueue::EventQueue() {
   heap_.reserve(kReserve);
-  callbacks_.reserve(kReserve);
+  slots_.reserve(kReserve);
+  slot_owner_.reserve(kReserve);
+  free_slots_.reserve(kReserve);
 }
 
 void EventQueue::heap_push(const Entry& e) const {
@@ -56,24 +58,36 @@ EventId EventQueue::schedule(SimTime t, EventFn fn) {
 }
 
 EventId EventQueue::schedule(SimTime t, EventPriority priority, EventFn fn) {
-  const EventId id = next_id_++;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    TCAST_CHECK_MSG(slots_.size() <= kSlotMask, "too many live events");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slot_owner_.push_back(0);
+  }
+  const EventId id = (next_seq_++ << kSlotBits) | slot;
+  slots_[slot] = std::move(fn);
+  slot_owner_[slot] = id;
   heap_push(Entry{t, id, priority});
-  callbacks_.emplace(id, std::move(fn));
   ++live_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto erased = callbacks_.erase(id);
-  if (erased == 0) return false;
+  const auto slot = static_cast<std::size_t>(id & kSlotMask);
+  if (slot >= slot_owner_.size() || slot_owner_[slot] != id) return false;
+  slot_owner_[slot] = 0;
+  slots_[slot] = nullptr;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   --live_;
   return true;  // heap tombstone skipped on pop
 }
 
 void EventQueue::skip_dead() const {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.front().id) == callbacks_.end())
-    heap_pop_top();
+  while (!heap_.empty() && !entry_live(heap_.front())) heap_pop_top();
 }
 
 SimTime EventQueue::next_time() const {
@@ -84,18 +98,14 @@ SimTime EventQueue::next_time() const {
 
 EventQueue::Fired EventQueue::pop() {
   TCAST_CHECK(!empty());
-  // Tombstone-skip and callback extraction share one hash lookup per entry:
-  // the find() that proves the head is alive is reused to take its closure
-  // (the map traffic, not the heap, dominates pop cost).
-  auto it = callbacks_.find(heap_.front().id);
-  while (it == callbacks_.end()) {
-    heap_pop_top();
-    it = callbacks_.find(heap_.front().id);
-  }
+  skip_dead();
   const Entry top = heap_.front();
   heap_pop_top();
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
+  const auto slot = static_cast<std::size_t>(top.id & kSlotMask);
+  Fired fired{top.time, top.id, std::move(slots_[slot])};
+  slots_[slot] = nullptr;  // drop any residue the move left behind
+  slot_owner_[slot] = 0;
+  free_slots_.push_back(static_cast<std::uint32_t>(slot));
   --live_;
   return fired;
 }

@@ -3,18 +3,25 @@
 // Ordering is (time, priority, sequence): events at equal times fire in
 // ascending priority value (default 0), ties in scheduling order, which
 // makes runs fully deterministic. Cancellation is lazy — the heap keeps a
-// tombstone and the callback map drops the closure immediately.
+// tombstone and the closure slot is recycled immediately.
 //
 // The heap is a hand-rolled 4-ary min-heap over 24-byte entries in one
 // pre-reserved flat vector: ~half the sift-down depth of a binary heap and
 // far better cache behavior than std::priority_queue's node compares, which
 // matters because the packet tier builds one EventQueue per Monte-Carlo
 // trial and pushes/pops thousands of events through it.
+//
+// Closures live in a flat slot pool (the low bits of an EventId name the
+// slot; the high bits carry the monotonic sequence the ordering relies
+// on), recycled through a free list. Steady-state scheduling therefore
+// never touches the heap allocator — the packet tier's
+// zero-allocations-per-query audit (tests/perf/alloc_audit_test.cpp)
+// rests on this, so closures on hot paths must also fit std::function's
+// inline buffer (16 bytes on libstdc++).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -63,13 +70,24 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    EventId id;  // doubles as sequence number: monotonically increasing
+    EventId id;  // high bits are the sequence number: schedule order
     EventPriority priority;
   };
   static bool before(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.priority != b.priority) return a.priority < b.priority;
-    return a.id < b.id;
+    return a.id < b.id;  // sequence dominates the slot bits
+  }
+
+  // EventId layout: (sequence << kSlotBits) | slot. The sequence is
+  // monotonic, so id comparison is schedule-order comparison whatever slot
+  // an event landed in; a slot's current owner id detects staleness.
+  static constexpr std::uint32_t kSlotBits = 20;
+  static constexpr EventId kSlotMask = (EventId{1} << kSlotBits) - 1;
+
+  bool entry_live(const Entry& e) const {
+    const auto slot = static_cast<std::size_t>(e.id & kSlotMask);
+    return slot_owner_[slot] == e.id;
   }
 
   void heap_push(const Entry& e) const;
@@ -78,8 +96,10 @@ class EventQueue {
 
   // mutable: next_time() is logically const but compacts tombstones.
   mutable std::vector<Entry> heap_;  ///< 4-ary min-heap, pre-reserved
-  std::unordered_map<EventId, EventFn> callbacks_;
-  EventId next_id_ = 1;
+  std::vector<EventFn> slots_;       ///< closure storage, slot-indexed
+  std::vector<EventId> slot_owner_;  ///< owning id per slot; 0 = free
+  std::vector<std::uint32_t> free_slots_;
+  EventId next_seq_ = 1;
   std::size_t live_ = 0;
 };
 

@@ -39,7 +39,8 @@ TEST(ConformanceSelfTest, CatchesWrongDecision) {
         core::ThresholdOutcome out;
         out.decision = true;  // a lie whenever x < t
         return out;
-      }};
+      },
+      {}};
   const auto report = check_algorithm(broken, fixed_scenario(20, 2, 10));
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_category(report, Violation::Category::kOutcome))
@@ -60,7 +61,8 @@ TEST(ConformanceSelfTest, CatchesRequeryOfDisposedNodes) {
         out.decision = false;
         out.queries = 2;
         return out;
-      }};
+      },
+      {}};
   const auto report = check_algorithm(broken, fixed_scenario(8, 0, 3));
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_category(report, Violation::Category::kRequery))
@@ -83,7 +85,8 @@ TEST(ConformanceSelfTest, CatchesNonPartitionAnnouncements) {
         core::ThresholdOutcome out;
         out.decision = false;  // correct for x < t
         return out;
-      }};
+      },
+      {}};
   const auto report = check_algorithm(broken, fixed_scenario(8, 1, 5));
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_category(report, Violation::Category::kPartition))
@@ -103,7 +106,8 @@ TEST(ConformanceSelfTest, CatchesWorstCaseBoundOverrun) {
         out.decision = true;  // correct for x ≥ t, but at an absurd cost
         out.queries = ch.queries_used();
         return out;
-      }};
+      },
+      {}};
   const auto report = check_algorithm(broken, sc);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_category(report, Violation::Category::kBound))
@@ -120,7 +124,8 @@ TEST(ConformanceSelfTest, CatchesQueryAccountingDrift) {
         out.decision = true;
         out.queries = 0;  // lies about the paper's cost metric
         return out;
-      }};
+      },
+      {}};
   const auto report = check_algorithm(broken, fixed_scenario(12, 9, 4));
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(has_category(report, Violation::Category::kOutcome))

@@ -1,0 +1,185 @@
+// Allocation audit for the query hot paths (`ctest -L perf`): after a
+// warm-up that grows every reusable buffer to steady state, issuing
+// queries must touch the heap ZERO times — on the exact tier (ExactChannel
+// announce/query/bin-count cache, the RoundEngine round loop, the division-
+// free uniform_below reciprocal cache) and on the packet tier (the full
+// PHY/MAC exchange per query). Heap traffic per query is how "fast" code
+// quietly regresses: capacity churn is invisible to differential tests and
+// ruins the sweep throughput the figures are built on.
+//
+// The audit counts every global operator new/delete. Sanitizer builds
+// interpose the allocator and add their own bookkeeping allocations, so
+// the suite skips itself there (CI's sanitizer matrix excludes `-L perf`
+// anyway).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/registry.hpp"
+#include "core/round_engine.hpp"
+#include "group/binning.hpp"
+#include "group/exact_channel.hpp"
+#include "group/packet_channel.hpp"
+#include "radio/hack_model.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting global allocator: route through malloc/free and tally news.
+// Deletes are uncounted — the audit asserts "no allocation", and every
+// alloc/free pair starts with a new.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(align),
+                                  sizeof(void*)),
+                     size ? size : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace tcast {
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+TEST(AllocAudit, CountingAllocatorSeesVectorGrowth) {
+  // Fixture self-test: the counter must actually observe heap traffic.
+  const std::uint64_t before = news();
+  std::vector<int> v(4096);
+  EXPECT_GT(news(), before);
+}
+
+TEST(AllocAudit, ExactTierQueriesAreAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizer allocator interposed";
+  RngStream rng(0xa110c, 1);
+  auto channel = group::ExactChannel::with_random_positives(128, 16, rng);
+  std::vector<NodeId> candidates(channel.all_nodes().begin(),
+                                 channel.all_nodes().end());
+  group::BinAssignment a;
+
+  // Warm-up: one full announce/query cycle grows the assignment arenas,
+  // the channel's count cache, and the reciprocal cache to steady state.
+  a.assign_random_equal_inplace(std::span<NodeId>(candidates), 32, rng);
+  channel.announce(a);
+  for (std::size_t idx = 0; idx < a.bin_count(); ++idx)
+    (void)channel.query_bin(a, idx);
+
+  const std::uint64_t before = news();
+  for (std::size_t round = 0; round < 50; ++round) {
+    a.assign_random_equal_inplace(std::span<NodeId>(candidates), 32, rng);
+    channel.announce(a);
+    (void)channel.oracle_bin_counts(a);
+    for (std::size_t idx = 0; idx < a.bin_count(); ++idx)
+      (void)channel.query_bin(a, idx);
+  }
+  EXPECT_EQ(news(), before)
+      << "exact-tier announce/query cycle touched the heap";
+}
+
+TEST(AllocAudit, ExactTierEngineTrialsAreAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizer allocator interposed";
+  // The full sweep inner loop: re-seed ground truth, rebind the persistent
+  // engine, run the algorithm end to end. After one warm-up trial per
+  // algorithm, whole trials must be heap-silent — this is the property the
+  // batched sweep engine's throughput rests on.
+  RngStream rng(0xa110c, 2);
+  auto channel = group::ExactChannel::all_negative(128, rng, {});
+  core::RoundEngine engine(channel, rng, {});
+  for (const auto& spec : core::algorithm_registry()) {
+    if (!spec.run_with_engine) continue;
+    // Two passes over the same trial grid. The first is warm-up: buffer
+    // sizes depend on the trial shape (expinc grows its bin count with x),
+    // so only a full pass reaches every buffer's high-water mark. The
+    // second pass must then be heap-silent — the steady state the batched
+    // sweep engine runs in.
+    std::uint64_t before = 0;
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      if (pass == 1) before = news();
+      for (std::size_t trial = 0; trial < 30; ++trial) {
+        RngStream trial_rng(0xa110d, trial_stream_id(77, trial));
+        channel.rebind_rng(trial_rng);
+        channel.assign_random_positives(trial % 33, trial_rng);
+        channel.reset_query_counter();
+        engine.rebind(channel, trial_rng, {});
+        (void)spec.run_with_engine(engine, channel.all_nodes(), 16);
+      }
+    }
+    EXPECT_EQ(news(), before) << spec.name << " trials touched the heap";
+  }
+}
+
+TEST(AllocAudit, PacketTierQueriesAreAllocationFree) {
+  if (kSanitized) GTEST_SKIP() << "sanitizer allocator interposed";
+  std::vector<bool> truth(48, false);
+  for (std::size_t i = 0; i < 48; i += 5) truth[i] = true;
+  group::PacketChannel::Config cfg;
+  cfg.model = group::CollisionModel::kOnePlus;
+  cfg.channel.hack = radio::HackReceptionModel::ideal();
+  group::PacketChannel channel(truth, cfg);
+
+  group::BinAssignment a;
+  a.assign_contiguous(channel.all_nodes(), 8);
+  channel.announce(a);
+  // Warm-up: every bin once (grows the wire map, frame buffers, and the
+  // simulator's event queue to their steady-state capacity).
+  for (std::size_t idx = 0; idx < a.bin_count(); ++idx)
+    (void)channel.query_bin(a, idx);
+
+  const std::uint64_t before = news();
+  for (std::size_t rep = 0; rep < 20; ++rep)
+    for (std::size_t idx = 0; idx < a.bin_count(); ++idx)
+      (void)channel.query_bin(a, idx);
+  EXPECT_EQ(news(), before) << "packet-tier query touched the heap";
+}
+
+}  // namespace
+}  // namespace tcast

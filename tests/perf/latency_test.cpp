@@ -1,11 +1,17 @@
 // LatencyRecorder: exact scalar stats, percentile accuracy, and the
-// stride-doubling decimation's bounded-memory guarantee.
+// stride-doubling decimation's bounded-memory guarantee — plus a
+// randomized property suite pinning the percentile math to a
+// sort-the-whole-sample oracle, including the empty, single-sample, and
+// buffer-saturation corners.
 #include "perf/latency.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "common/rng.hpp"
 
 namespace tcast::perf {
 namespace {
@@ -44,6 +50,105 @@ TEST(LatencyRecorder, DecimationKeepsMemoryBoundedAndQuantilesSane) {
   EXPECT_NEAR(s.mean, 499.5, 0.5);
   EXPECT_NEAR(s.p50, 500.0, 50.0);
   EXPECT_NEAR(s.p99, 990.0, 50.0);
+}
+
+/// Sorted-oracle quantile: sort a copy, nearest-rank with interpolation —
+/// independently re-derived, not a call back into percentile_of.
+double oracle_percentile(std::vector<std::uint64_t> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(xs[lo]) +
+         frac * (static_cast<double>(xs[hi]) - static_cast<double>(xs[lo]));
+}
+
+TEST(LatencyRecorder, PercentilesMatchSortedOracleBelowCapacity) {
+  // Under the cap nothing is decimated, so every reported percentile must
+  // equal the oracle EXACTLY — across sample counts that hit the rank
+  // interpolation from every side, with duplicate-heavy and adversarially
+  // skewed values.
+  RngStream rng(0x1a7e, 1);
+  for (const std::size_t count :
+       {std::size_t{2}, std::size_t{3}, std::size_t{10}, std::size_t{99},
+        std::size_t{100}, std::size_t{101}, std::size_t{255}}) {
+    for (std::size_t rep = 0; rep < 20; ++rep) {
+      LatencyRecorder rec(1 << 10);
+      std::vector<std::uint64_t> xs;
+      for (std::size_t i = 0; i < count; ++i) {
+        // Heavy-tailed-ish: mostly small, occasional huge values, and runs
+        // of exact duplicates.
+        std::uint64_t v = rng.uniform_below(100);
+        if (rng.uniform_below(10) == 0) v = 1'000'000 + rng.uniform_below(9);
+        xs.push_back(v);
+        rec.record(v);
+      }
+      const auto s = rec.summarize();
+      EXPECT_EQ(s.count, count);
+      EXPECT_EQ(s.min, *std::min_element(xs.begin(), xs.end()));
+      EXPECT_EQ(s.max, *std::max_element(xs.begin(), xs.end()));
+      for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double want = oracle_percentile(xs, q);
+        const double got = q == 0.5    ? s.p50
+                           : q == 0.9  ? s.p90
+                           : q == 0.99 ? s.p99
+                                       : s.p999;
+        EXPECT_DOUBLE_EQ(got, want)
+            << "count=" << count << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(LatencyRecorder, EmptyRecorderSummarizesToZeros) {
+  const auto s = LatencyRecorder(16).summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p999, 0.0);
+}
+
+TEST(LatencyRecorder, SingleSampleIsEveryPercentile) {
+  LatencyRecorder rec(16);
+  rec.record(1234);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 1234u);
+  EXPECT_EQ(s.max, 1234u);
+  EXPECT_DOUBLE_EQ(s.mean, 1234.0);
+  EXPECT_DOUBLE_EQ(s.p50, 1234.0);
+  EXPECT_DOUBLE_EQ(s.p90, 1234.0);
+  EXPECT_DOUBLE_EQ(s.p99, 1234.0);
+  EXPECT_DOUBLE_EQ(s.p999, 1234.0);
+}
+
+TEST(LatencyRecorder, SaturatedRecorderTracksTheFullSampleOracle) {
+  // Far past the cap, the stride-doubled systematic sample must still
+  // estimate the full-population quantiles: scalar stats stay EXACT, and
+  // the decimated percentiles land within a few percent of the oracle over
+  // the complete (never-retained) sample.
+  RngStream rng(0x1a7e, 2);
+  LatencyRecorder rec(256);
+  std::vector<std::uint64_t> all;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    const std::uint64_t v = 10 + rng.uniform_below(10'000);
+    all.push_back(v);
+    sum += static_cast<double>(v);
+    rec.record(v);
+  }
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, all.size());
+  EXPECT_EQ(s.min, *std::min_element(all.begin(), all.end()));
+  EXPECT_EQ(s.max, *std::max_element(all.begin(), all.end()));
+  EXPECT_DOUBLE_EQ(s.mean, sum / static_cast<double>(all.size()));
+  EXPECT_NEAR(s.p50, oracle_percentile(all, 0.5), 500.0);
+  EXPECT_NEAR(s.p90, oracle_percentile(all, 0.9), 500.0);
+  EXPECT_NEAR(s.p99, oracle_percentile(all, 0.99), 600.0);
 }
 
 TEST(LatencyRecorder, ResetClearsEverything) {

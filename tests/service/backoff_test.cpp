@@ -1,11 +1,17 @@
 // Client retry policy: what retries, and that delays stay inside the
-// jittered exponential envelope while honoring server hints.
+// jittered exponential envelope while honoring server hints — plus a
+// seeded statistical suite pinning the jitter DISTRIBUTION (not just its
+// bounds): the draw must actually fill the envelope [(1-j)·d, d], its mean
+// must sit at the envelope's center, the cap must be approached
+// monotonically across attempts, and a server hint must lift the whole
+// envelope, not just the floor.
 #include "service/backoff.hpp"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace tcast::service {
 namespace {
@@ -55,6 +61,102 @@ TEST(Backoff, DelayNeverExceedsMax) {
   RngStream rng(7, 2);
   for (std::size_t attempt = 0; attempt < 12; ++attempt)
     EXPECT_LE(policy.delay_ms(attempt, 0, rng), 100u);
+}
+
+struct Envelope {
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  double mean = 0.0;
+};
+
+Envelope sample_envelope(const BackoffPolicy& policy, std::size_t attempt,
+                         std::uint64_t hint, RngStream& rng,
+                         std::size_t draws = 4000) {
+  Envelope e;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const auto d = policy.delay_ms(attempt, hint, rng);
+    e.min = std::min(e.min, d);
+    e.max = std::max(e.max, d);
+    sum += static_cast<double>(d);
+  }
+  e.mean = sum / static_cast<double>(draws);
+  return e;
+}
+
+TEST(Backoff, JitterFillsTheWholeEnvelopeStatistically) {
+  // 4000 seeded draws per attempt: the observed extremes must come within
+  // 2% of the theoretical envelope edges (a bounds-only test passes even
+  // if jitter silently collapses to a constant), and the mean must sit at
+  // the envelope center — uniform jitter, not merely bounded jitter.
+  BackoffPolicy policy;  // base 2ms, x2, max 2000ms, jitter 0.5
+  RngStream rng(0xbacc, 1);
+  for (const std::size_t attempt : {std::size_t{2}, std::size_t{5}}) {
+    const double d = std::min(
+        static_cast<double>(policy.base_ms) *
+            std::pow(policy.multiplier, static_cast<double>(attempt)),
+        static_cast<double>(policy.max_ms));
+    const double lo = (1.0 - policy.jitter) * d;
+    const double span = d - lo;
+    const auto e = sample_envelope(policy, attempt, 0, rng);
+    EXPECT_LE(static_cast<double>(e.min), lo + 0.02 * span + 1.0)
+        << "attempt " << attempt;
+    EXPECT_GE(static_cast<double>(e.max), d - 0.02 * span - 1.0)
+        << "attempt " << attempt;
+    EXPECT_LE(static_cast<double>(e.max), d + 1.0) << "attempt " << attempt;
+    EXPECT_GE(static_cast<double>(e.min), lo - 1.0) << "attempt " << attempt;
+    // Uniform over [lo, d] ⇒ mean at the center; 4000 draws put the
+    // standard error around span/110, so 5% of span is a ~5σ band.
+    EXPECT_NEAR(e.mean, (lo + d) / 2.0, 0.05 * span + 1.0)
+        << "attempt " << attempt;
+  }
+}
+
+TEST(Backoff, EnvelopeGrowsMonotonicallyThenPinsAtTheCap) {
+  // The per-attempt envelope mean must be nondecreasing across attempts
+  // and saturate exactly once the exponential schedule crosses max_ms —
+  // the cap is a ceiling the schedule sticks to, not a wrap or a reset.
+  BackoffPolicy policy;
+  policy.base_ms = 3;
+  policy.multiplier = 2.0;
+  policy.max_ms = 96;  // caps from attempt 5 (3·2^5 = 96) onward
+  RngStream rng(0xbacc, 2);
+  double prev_mean = -1.0;
+  for (std::size_t attempt = 0; attempt < 10; ++attempt) {
+    const auto e = sample_envelope(policy, attempt, 0, rng, 2000);
+    EXPECT_GE(e.mean, prev_mean - 1.0) << "attempt " << attempt;
+    EXPECT_LE(e.max, policy.max_ms) << "attempt " << attempt;
+    prev_mean = e.mean;
+    if (attempt >= 5) {
+      // Saturated: the envelope is [(1-j)·max, max] regardless of attempt.
+      const double lo = (1.0 - policy.jitter) * 96.0;
+      EXPECT_NEAR(e.mean, (lo + 96.0) / 2.0, 0.05 * (96.0 - lo) + 1.0)
+          << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, ServerHintLiftsTheWholeEnvelope) {
+  // A hint above the schedule re-centers the whole distribution on the
+  // hint's envelope: draws spread across [(1-j)·hint, hint] — the hint
+  // overrides the exponential term rather than merely clipping the floor.
+  BackoffPolicy policy;  // base 2ms: schedule says ~2ms at attempt 0
+  RngStream rng(0xbacc, 3);
+  const double hint = 800.0;
+  const double lo = (1.0 - policy.jitter) * hint;
+  const double span = hint - lo;
+  const auto e = sample_envelope(policy, 0, 800, rng);
+  EXPECT_GE(static_cast<double>(e.min), lo - 1.0);
+  EXPECT_LE(static_cast<double>(e.max), hint + 1.0);
+  EXPECT_LE(static_cast<double>(e.min), lo + 0.02 * span + 1.0);
+  EXPECT_GE(static_cast<double>(e.max), hint - 0.02 * span - 1.0);
+  EXPECT_NEAR(e.mean, (lo + hint) / 2.0, 0.05 * span + 1.0);
+  // And the hint is ignored when the schedule already exceeds it.
+  BackoffPolicy big;
+  big.base_ms = 1000;
+  const auto scheduled = sample_envelope(big, 0, 5, rng, 500);
+  EXPECT_GE(static_cast<double>(scheduled.min),
+            (1.0 - big.jitter) * 1000.0 - 1.0);
 }
 
 }  // namespace

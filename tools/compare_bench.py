@@ -40,6 +40,7 @@ STATUS_IMPROVED = "improved"
 STATUS_OK = "ok"
 STATUS_MISSING = "missing"
 STATUS_NEW = "new"
+STATUS_SKIPPED = "skipped"
 
 
 def load_report(path):
@@ -60,6 +61,11 @@ def throughput_by_name(report):
     return out
 
 
+def bench_names(report):
+    return {b.get("name") for b in report.get("benchmarks", [])
+            if b.get("name")}
+
+
 # Tail percentiles gated as latency metrics (p50 is reported, not gated).
 GATED_PERCENTILES = ("p99_us", "p999_us")
 
@@ -77,6 +83,24 @@ def latency_by_name(report):
             value = percentiles.get(key, 0.0)
             if value > 0.0:
                 out[f"{name} [{key}]"] = value
+    return out
+
+
+def skipped_names(report):
+    """Benchmark entries present in the report that contributed no gated
+    metric at all — no usable throughput and no gated percentile. These
+    must still surface in the summary: a baseline recorded on a machine
+    where a bench was skipped (items_per_s == 0) would otherwise make that
+    bench invisible forever — no row, no status, nothing to notice."""
+    tput = throughput_by_name(report)
+    lat = latency_by_name(report)
+    out = []
+    for name in sorted(bench_names(report)):
+        if name in tput:
+            continue
+        if any(f"{name} [{key}]" in lat for key in GATED_PERCENTILES):
+            continue
+        out.append(name)
     return out
 
 
@@ -133,6 +157,9 @@ def render_text(rows, max_regression, min_improvement, unit="items/s"):
             lines.append(f"  {name:<{width}}  (missing from current run)")
         elif status == STATUS_NEW:
             lines.append(f"  {name:<{width}}  (new, no baseline)")
+        elif status == STATUS_SKIPPED:
+            lines.append(f"  {name:<{width}}  (skipped: baseline has no "
+                         "usable metric; not gated)")
         else:
             marker = {
                 STATUS_REGRESSION: "  <-- REGRESSION",
@@ -158,6 +185,7 @@ def render_markdown(rows, unit="items/s", title="Benchmark comparison"):
         STATUS_OK: "ok",
         STATUS_MISSING: ":warning: missing",
         STATUS_NEW: "new",
+        STATUS_SKIPPED: ":fast_forward: skipped (no baseline metric)",
     }
     for name, base_ips, cur_ips, ratio, status in rows:
         base_s = f"{base_ips:.4g}" if base_ips is not None else "—"
@@ -220,6 +248,11 @@ def main(argv=None):
 
     rows = compare(throughput_by_name(baseline), throughput_by_name(current),
                    args.max_regression, args.min_improvement)
+    # Baseline entries with no usable metric get a row UNCONDITIONALLY (in
+    # the text output and the markdown summary): a silently-dropped bench
+    # is indistinguishable from a healthy one otherwise. Never gated.
+    rows += [(name, None, None, None, STATUS_SKIPPED)
+             for name in skipped_names(baseline)]
     print(render_text(rows, args.max_regression, args.min_improvement))
 
     latency_rows = compare_latency(

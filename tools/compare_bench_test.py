@@ -70,6 +70,19 @@ class Compare(unittest.TestCase):
         self.assertAlmostEqual(rows[0][3], 2.0)
 
 
+class SkippedNames(unittest.TestCase):
+    def test_zero_throughput_without_percentiles_is_skipped(self):
+        r = report([("ran", 10.0), ("skipped", 0.0)])
+        self.assertEqual(compare_bench.skipped_names(r), ["skipped"])
+
+    def test_percentile_only_benches_are_not_skipped(self):
+        # Service load rigs report no throughput but ARE gated on tails —
+        # they must not be misreported as skipped.
+        r = report([("svc", 0.0)],
+                   percentiles={"svc": {"p99_us": 900.0}})
+        self.assertEqual(compare_bench.skipped_names(r), [])
+
+
 class LatencyByName(unittest.TestCase):
     def test_extracts_gated_percentiles_only(self):
         r = report([("svc", 10.0), ("plain", 5.0)],
@@ -141,6 +154,20 @@ class RenderMarkdown(unittest.TestCase):
         self.assertIn("| `new` |", md)
 
 
+class RenderSkipped(unittest.TestCase):
+    def test_skipped_rows_render_without_gating(self):
+        rows = [("quiet", None, None, None, compare_bench.STATUS_SKIPPED)]
+        md = compare_bench.render_markdown(rows)
+        self.assertIn("| `quiet` |", md)
+        self.assertIn("skipped", md)
+        text = compare_bench.render_text(rows, 0.25, 0.25)
+        self.assertIn("quiet", text)
+        self.assertIn("skipped", text)
+        code, failures = compare_bench.gate(rows, fail_on_missing=True)
+        self.assertEqual(code, 0)
+        self.assertEqual(failures, [])
+
+
 class MainEndToEnd(unittest.TestCase):
     def run_main(self, *argv):
         return compare_bench.main(list(argv))
@@ -199,6 +226,26 @@ class MainEndToEnd(unittest.TestCase):
             self.assertEqual(
                 self.run_main("--baseline", base, "--current", cur,
                               "--max-latency-regression", "9.0"), 0)
+
+    def test_baseline_present_but_skipped_bench_appears_in_summary(self):
+        # The regression this guards: a bench recorded with items_per_s == 0
+        # in the baseline used to produce NO row anywhere — invisible in the
+        # markdown summary, never flagged, never gated. It must now appear
+        # unconditionally as a skipped row (and still never gate).
+        with tempfile.TemporaryDirectory() as d:
+            base = os.path.join(d, "base.json")
+            cur = os.path.join(d, "cur.json")
+            summary = os.path.join(d, "summary.md")
+            write_report(base, [("a", 1.0), ("quiet", 0.0)])
+            write_report(cur, [("a", 1.0)])
+            code = self.run_main("--baseline", base, "--current", cur,
+                                 "--fail-on-missing",
+                                 "--summary-out", summary)
+            self.assertEqual(code, 0)
+            with open(summary, encoding="utf-8") as f:
+                text = f.read()
+            self.assertIn("| `quiet` |", text)
+            self.assertIn("skipped", text)
 
     def test_bad_schema_raises(self):
         with tempfile.TemporaryDirectory() as d:

@@ -1,0 +1,101 @@
+// Parallel-kernel benchmarks: LP-sharded cell worlds at 1k and 10k motes,
+// driven sequentially (the inline differential reference) and over worker
+// pools. Every variant of a world executes the *identical* event schedule —
+// CellWorld is bit-reproducible under a fixed seed whatever the worker
+// count — so the seq/w2/w4 throughput ratios are a pure measurement of the
+// conservative kernel's scaling, with zero semantic drift.
+//
+// Honest-measurement notes (docs/PERFORMANCE.md has the table):
+//  * speedup is bounded by the host's *schedulable* CPUs (the report's
+//    host.affinity_cpus, often < hardware_threads on CI); on a single-core
+//    runner every pooled variant measures synchronization overhead, not
+//    scaling;
+//  * KernelStats.stalled_windows counts the windows where conservative
+//    lookahead serialized the world — the structural (not implementation)
+//    limit of the speedup.
+#include "bench/micro/micro_benchmarks.hpp"
+
+#include <memory>
+#include <thread>
+
+#include "common/parallel.hpp"
+#include "sim/parallel/cell_world.hpp"
+
+namespace tcast::bench {
+
+namespace {
+
+std::uint64_t run_cells(std::size_t cells, std::size_t motes_per_cell,
+                        SimTime beacon_period, SimTime duration,
+                        std::size_t workers) {
+  std::unique_ptr<ThreadPool> pool;
+  if (workers > 1) pool = std::make_unique<ThreadPool>(workers);
+  sim::parallel::CellWorldConfig cfg;
+  cfg.cells = cells;
+  cfg.motes_per_cell = motes_per_cell;
+  cfg.seed = 7;
+  cfg.beacon_period = beacon_period;
+  cfg.duration = duration;
+  cfg.pool = pool.get();
+  sim::parallel::CellWorld world(cfg);
+  return world.run();
+}
+
+}  // namespace
+
+void register_parallel_benches(perf::BenchRegistry& registry) {
+  // 1k motes: 16 cells × 64. Beacon period keeps each cell ~50% busy —
+  // contended enough that the MAC, channel clusters and cross-cell ghosts
+  // all do real work.
+  struct Variant {
+    const char* name;
+    std::size_t workers;
+  };
+  const Variant kSmall[] = {{"sim/parallel/cells1k_seq", 1},
+                            {"sim/parallel/cells1k_w2", 2},
+                            {"sim/parallel/cells1k_w4", 4}};
+  for (const Variant& v : kSmall) {
+    registry.add(perf::Benchmark{
+        v.name,
+        "event",
+        {{"workers", static_cast<double>(v.workers)},
+         {"cells", 16},
+         {"motes", 1024}},
+        [workers = v.workers](bool quick) -> std::uint64_t {
+          return run_cells(16, 64, 80 * kMillisecond,
+                           (quick ? 40 : 160) * kMillisecond, workers);
+        }});
+  }
+
+  // 10k motes: 32 cells × 320 — the scaling target world (≥3x at 4
+  // workers on a host with ≥4 schedulable cores).
+  const Variant kLarge[] = {{"sim/parallel/cells10k_seq", 1},
+                            {"sim/parallel/cells10k_w4", 4}};
+  for (const Variant& v : kLarge) {
+    registry.add(perf::Benchmark{
+        v.name,
+        "event",
+        {{"workers", static_cast<double>(v.workers)},
+         {"cells", 32},
+         {"motes", 10240}},
+        [workers = v.workers](bool quick) -> std::uint64_t {
+          return run_cells(32, 320, 400 * kMillisecond,
+                           (quick ? 24 : 96) * kMillisecond, workers);
+        }});
+  }
+
+  // All schedulable cores, whatever the host offers — the "hw" leg of the
+  // 1/2/hw sweep (on this host: workers param below).
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  registry.add(perf::Benchmark{
+      "sim/parallel/cells1k_whw",
+      "event",
+      {{"workers", static_cast<double>(hw)}, {"cells", 16}, {"motes", 1024}},
+      [hw](bool quick) -> std::uint64_t {
+        return run_cells(16, 64, 80 * kMillisecond,
+                         (quick ? 40 : 160) * kMillisecond, hw);
+      }});
+}
+
+}  // namespace tcast::bench

@@ -8,9 +8,13 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "perf/hw_counters.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <time.h>
+#endif
+#if defined(__linux__)
+#include <sched.h>
 #endif
 
 namespace tcast::perf {
@@ -109,6 +113,11 @@ JsonValue BenchResult::to_json() const {
     for (const auto& [k, v] : percentiles) pct.emplace(k, v);
     obj.emplace("percentiles", std::move(pct));
   }
+  if (!counters.empty()) {
+    JsonValue::Object ctr;
+    for (const auto& [k, v] : counters) ctr.emplace(k, v);
+    obj.emplace("counters", std::move(ctr));
+  }
   return JsonValue(std::move(obj));
 }
 
@@ -157,6 +166,11 @@ std::optional<BenchResult> BenchResult::from_json(const JsonValue& v) {
     for (const auto& [k, pv] : pct->as_object())
       if (pv.is_number()) r.percentiles.emplace(k, pv.as_number());
   }
+  if (const JsonValue* ctr = v.find("counters");
+      ctr != nullptr && ctr->is_object()) {
+    for (const auto& [k, cv] : ctr->as_object())
+      if (cv.is_number()) r.counters.emplace(k, cv.as_number());
+  }
   return r;
 }
 
@@ -193,6 +207,17 @@ std::vector<BenchResult> BenchRegistry::run(const RunOptions& opts,
     res.params = b.params;
     res.items = items;
     res.timing = summarize(samples);
+    // One extra *counted* repetition for the families whose regressions
+    // are usually cache/branch stories. Untimed, optional, never gating:
+    // on hosts where perf_event_open is denied this silently does nothing.
+    if (b.name.starts_with("core/") || b.name.starts_with("sim/")) {
+      HwCounters hw;
+      if (hw.available()) {
+        hw.start();
+        b.body(opts.quick);
+        res.counters = hw.stop();
+      }
+    }
     if (progress) {
       char line[160];
       std::snprintf(line, sizeof line,
@@ -225,6 +250,12 @@ HostInfo host_info() {
   h.build_type = "unknown";
 #endif
   h.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof set, &set) == 0)
+    h.affinity_cpus = static_cast<unsigned>(CPU_COUNT(&set));
+#endif
   return h;
 }
 
@@ -259,6 +290,7 @@ JsonValue Report::to_json() const {
            {"compiler", host.compiler},
            {"build_type", host.build_type},
            {"hardware_threads", static_cast<double>(host.hardware_threads)},
+           {"affinity_cpus", static_cast<double>(host.affinity_cpus)},
        }},
       {"benchmarks", std::move(arr)},
   });
@@ -279,6 +311,9 @@ std::optional<Report> Report::from_json(const JsonValue& v) {
     double threads = 0.0;
     if (read_number(*host, "hardware_threads", &threads))
       rep.host.hardware_threads = static_cast<unsigned>(threads);
+    double affinity = 0.0;
+    if (read_number(*host, "affinity_cpus", &affinity))
+      rep.host.affinity_cpus = static_cast<unsigned>(affinity);
   }
   const JsonValue* arr = v.find("benchmarks");
   if (arr == nullptr || !arr->is_array()) return std::nullopt;

@@ -1,0 +1,96 @@
+#include "perf/hw_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace tcast::perf {
+
+#if defined(__linux__)
+
+namespace {
+
+int perf_open(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  // The group starts disabled; start() enables it via the leader.
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;  // user-space cost only, and lower paranoid bar
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd,
+              /*flags=*/0));
+}
+
+}  // namespace
+
+HwCounters::HwCounters() {
+  group_fd_ =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, -1);
+  if (group_fd_ < 0) return;
+  if (ioctl(group_fd_, PERF_EVENT_IOC_ID, &llc_id_) != 0) {
+    close(group_fd_);
+    group_fd_ = -1;
+    return;
+  }
+  branch_fd_ =
+      perf_open(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, group_fd_);
+  if (branch_fd_ >= 0 &&
+      ioctl(branch_fd_, PERF_EVENT_IOC_ID, &branch_id_) != 0) {
+    close(branch_fd_);
+    branch_fd_ = -1;
+  }
+}
+
+HwCounters::~HwCounters() {
+  if (branch_fd_ >= 0) close(branch_fd_);
+  if (group_fd_ >= 0) close(group_fd_);
+}
+
+void HwCounters::start() {
+  if (group_fd_ < 0) return;
+  ioctl(group_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(group_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+std::map<std::string, double> HwCounters::stop() {
+  std::map<std::string, double> out;
+  if (group_fd_ < 0) return out;
+  ioctl(group_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  struct {
+    std::uint64_t nr;
+    struct {
+      std::uint64_t value;
+      std::uint64_t id;
+    } v[4];
+  } buf{};
+  const ssize_t n = read(group_fd_, &buf, sizeof buf);
+  if (n <= 0) return out;
+  for (std::uint64_t i = 0; i < buf.nr && i < 4; ++i) {
+    if (buf.v[i].id == llc_id_)
+      out["llc_misses"] = static_cast<double>(buf.v[i].value);
+    else if (branch_fd_ >= 0 && buf.v[i].id == branch_id_)
+      out["branch_misses"] = static_cast<double>(buf.v[i].value);
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+HwCounters::HwCounters() = default;
+HwCounters::~HwCounters() = default;
+void HwCounters::start() {}
+std::map<std::string, double> HwCounters::stop() { return {}; }
+
+#endif
+
+}  // namespace tcast::perf

@@ -1,0 +1,55 @@
+// Hardware performance counters for the micro-bench tier, via
+// perf_event_open(2).
+//
+// One HwCounters instance owns a counter group of LLC misses
+// (PERF_COUNT_HW_CACHE_MISSES — the generalized last-level-cache miss
+// event) and branch mispredictions (PERF_COUNT_HW_BRANCH_MISSES), counting
+// this process's user-space execution on any CPU. The harness brackets one
+// extra repetition of a benchmark body with start()/stop() and attaches
+// the totals to the result as *optional* fields: tools/compare_bench.py
+// reports them next to the timing deltas but never gates on them — cache
+// and branch counters are diagnostic context for a timing regression, not
+// a regression signal of their own (they vary across
+// microarchitectures and are unavailable on many CI hosts).
+//
+// Graceful degradation is the contract: when perf_event_open is absent
+// (non-Linux), forbidden (perf_event_paranoid, seccomp — the common case
+// in containers), or the PMU lacks the events, available() is false,
+// start() is a no-op and stop() returns an empty map. Nothing in the bench
+// pipeline may fail because counters could not be opened.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tcast::perf {
+
+class HwCounters {
+ public:
+  /// Tries to open the counter group; never throws or aborts on failure.
+  HwCounters();
+  ~HwCounters();
+
+  HwCounters(const HwCounters&) = delete;
+  HwCounters& operator=(const HwCounters&) = delete;
+
+  /// True when at least the LLC-miss leader opened.
+  bool available() const { return group_fd_ >= 0; }
+
+  /// Resets and enables the group (no-op when unavailable).
+  void start();
+
+  /// Disables the group and returns the counts since start():
+  /// {"llc_misses": …} plus {"branch_misses": …} when that event opened.
+  /// Empty when unavailable.
+  std::map<std::string, double> stop();
+
+ private:
+  int group_fd_ = -1;   ///< leader: LLC misses
+  int branch_fd_ = -1;  ///< sibling: branch misses
+  std::uint64_t llc_id_ = 0;
+  std::uint64_t branch_id_ = 0;
+};
+
+}  // namespace tcast::perf

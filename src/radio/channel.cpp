@@ -60,24 +60,46 @@ bool Channel::busy_near(const Radio& listener) const {
   return false;
 }
 
+bool Channel::tx_audible(const Tx& tx, const Radio& r) const {
+  if (cfg_.range <= 0.0) return true;
+  const double dx = tx.x - r.pos_x();
+  const double dy = tx.y - r.pos_y();
+  return dx * dx + dy * dy <= cfg_.range * cfg_.range;
+}
+
 void Channel::begin_transmission(Radio& sender, Frame f) {
-  const SimTime now = sim_->now();
-  const SimTime air = airtime(f);
   Tx* tx = acquire_tx();
   tx->sender = &sender;
   tx->frame = std::move(f);
+  tx->x = sender.pos_x();
+  tx->y = sender.pos_y();
+  launch(tx);
+  if (tx_tap_) tx_tap_(tx->frame, sender, tx->start, tx->end);
+}
+
+void Channel::inject_transmission(Frame f, double x, double y) {
+  Tx* tx = acquire_tx();
+  tx->sender = nullptr;
+  tx->frame = std::move(f);
+  tx->x = x;
+  tx->y = y;
+  launch(tx);  // no tap: mirrored frames must not be re-mirrored
+}
+
+void Channel::launch(Tx* tx) {
+  const SimTime now = sim_->now();
   tx->start = now;
-  tx->end = now + air;
+  tx->end = now + airtime(tx->frame);
   tx->refs = 1;  // the pending end event
   ++active_;
   // Fold the frame into the busy period of every radio that can hear it.
   for (auto& [radio, rec] : receptions_) {
-    if (radio == &sender) {
+    if (radio == tx->sender) {
       // A transmitter talking into its own open period corrupts it.
       if (rec.on_air > 0) rec.sent_own = true;
       continue;
     }
-    if (!in_range(sender, *radio)) continue;
+    if (!tx_audible(*tx, *radio)) continue;
     if (rec.on_air == 0 && rec.frames.empty()) {
       rec.start = now;
       rec.sent_own = radio->transmitting();
@@ -97,9 +119,9 @@ void Channel::on_transmission_end(Tx* tx) {
   TCAST_CHECK(active_ > 0);
   --active_;
   if (active_ == 0) ++clusters_resolved_;  // a global busy period drained
-  tx->sender->channel_tx_done();
+  if (tx->sender != nullptr) tx->sender->channel_tx_done();
   for (auto& [radio, rec] : receptions_) {
-    if (radio == tx->sender || !in_range(*tx->sender, *radio)) continue;
+    if (radio == tx->sender || !tx_audible(*tx, *radio)) continue;
     TCAST_CHECK(rec.on_air > 0);
     --rec.on_air;
     if (rec.on_air == 0) {

@@ -1,0 +1,218 @@
+#include "sim/parallel/cell_world.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "radio/frame.hpp"
+
+namespace tcast::sim::parallel {
+
+CellWorld::CellWorld(CellWorldConfig cfg)
+    : cfg_(std::move(cfg)), kernel_(KernelConfig{cfg_.pool}) {
+  TCAST_CHECK(cfg_.cells >= 1);
+  TCAST_CHECK(cfg_.motes_per_cell >= 1);
+  TCAST_CHECK(cfg_.cross_cell_delay >= 1);
+  TCAST_CHECK(cfg_.duration >= 1);
+
+  // Rank 0: the control plane. Ranks 1..cells: the cells, each with its own
+  // RNG stream derived from the world seed.
+  control_ = &kernel_.add_lp(cfg_.seed, 0);
+  cells_.resize(cfg_.cells);
+  for (std::size_t i = 0; i < cfg_.cells; ++i) {
+    Cell& c = cells_[i];
+    c.lp = &kernel_.add_lp(cfg_.seed, static_cast<std::uint64_t>(i) + 1);
+    radio::ChannelConfig ccfg;
+    ccfg.clean_loss = cfg_.clean_loss;
+    c.channel = std::make_unique<radio::Channel>(c.lp->sim(), ccfg);
+    c.motes.resize(cfg_.motes_per_cell);
+    for (std::size_t m = 0; m < cfg_.motes_per_cell; ++m) {
+      Mote& mote = c.motes[m];
+      mote.radio = std::make_unique<radio::Radio>(
+          *c.channel, static_cast<NodeId>(i * cfg_.motes_per_cell + m),
+          addr(i, m));
+      mote.radio->power_on();
+      mote.mac = std::make_unique<mac::CsmaMac>(*mote.radio);
+    }
+  }
+
+  // Ring topology: adjacent cells hear each other after cross_cell_delay.
+  if (cfg_.cells > 1) {
+    for (std::size_t i = 0; i < cfg_.cells; ++i) {
+      const std::size_t j = (i + 1) % cfg_.cells;
+      kernel_.connect(*cells_[i].lp, *cells_[j].lp, cfg_.cross_cell_delay);
+      kernel_.connect(*cells_[j].lp, *cells_[i].lp, cfg_.cross_cell_delay);
+      if (cfg_.cells == 2) break;  // one pair of links, not two
+    }
+  }
+  for (Cell& c : cells_)
+    kernel_.connect(*control_, *c.lp, cfg_.cross_cell_delay);
+
+  // Mirror every local transmission of cell i into its ring neighbours as a
+  // ghost transmission landing cross_cell_delay later. The tap fires inside
+  // cell i's drain, so posting goes through i's LP-local outbox; ghost
+  // injections are not re-tapped, so a frame travels exactly one hop.
+  if (cfg_.cells > 1) {
+    for (std::size_t i = 0; i < cfg_.cells; ++i) {
+      const std::size_t left = (i + cfg_.cells - 1) % cfg_.cells;
+      const std::size_t right = (i + 1) % cfg_.cells;
+      cells_[i].channel->set_tx_tap(
+          [this, i, left, right](const radio::Frame& f,
+                                 const radio::Radio& sender, SimTime start,
+                                 SimTime /*end*/) {
+            const SimTime arrival = start + cfg_.cross_cell_delay;
+            const double x = sender.pos_x();
+            const double y = sender.pos_y();
+            auto mirror = [&](std::size_t n) {
+              radio::Channel* chan = cells_[n].channel.get();
+              kernel_.post(*cells_[i].lp, *cells_[n].lp, arrival, 0,
+                           [chan, f, x, y] {
+                             chan->inject_transmission(f, x, y);
+                           });
+            };
+            mirror(left);
+            if (right != left) mirror(right);
+          });
+    }
+  }
+
+  // Jittered perpetual beacon traffic: every mote's first beacon lands
+  // uniformly inside one period, later ones at period/2 + U[0, period).
+  for (std::size_t i = 0; i < cfg_.cells; ++i) {
+    RngStream& rng = cells_[i].lp->sim().rng();
+    for (std::size_t m = 0; m < cfg_.motes_per_cell; ++m) {
+      const auto jitter = static_cast<SimTime>(rng.uniform_below(
+          static_cast<std::uint64_t>(cfg_.beacon_period)));
+      arm_beacon(i, m, jitter);
+    }
+  }
+
+  plan_faults();
+}
+
+CellWorld::~CellWorld() = default;
+
+void CellWorld::arm_beacon(std::size_t cell, std::size_t mote, SimTime gap) {
+  Mote& m = cells_[cell].motes[mote];
+  TCAST_CHECK(!m.armed);
+  m.armed = true;
+  cells_[cell].lp->sim().schedule_after(
+      gap, [this, cell, mote] { beacon_fire(cell, mote); });
+}
+
+void CellWorld::beacon_fire(std::size_t cell, std::size_t mote) {
+  Cell& c = cells_[cell];
+  Mote& m = c.motes[mote];
+  m.armed = false;
+  if (m.dark) return;  // crashed: the loop halts until the reboot re-arms it
+
+  radio::Frame f;
+  f.type = radio::FrameType::kData;
+  f.src = addr(cell, mote);
+  f.seq = m.seq++;
+  f.data = {static_cast<std::uint8_t>(cell), static_cast<std::uint8_t>(mote)};
+  m.mac->send(std::move(f));
+
+  RngStream& rng = c.lp->sim().rng();
+  const SimTime gap =
+      cfg_.beacon_period / 2 +
+      static_cast<SimTime>(rng.uniform_below(
+          static_cast<std::uint64_t>(cfg_.beacon_period)));
+  arm_beacon(cell, mote, gap);
+}
+
+void CellWorld::apply_fault(std::size_t cell, std::size_t mote, bool down) {
+  Cell& c = cells_[cell];
+  Mote& m = c.motes[mote];
+  c.fault_log.push_back(AppliedFault{c.lp->sim().now(),
+                                     static_cast<std::uint32_t>(cell),
+                                     static_cast<std::uint32_t>(mote), down});
+  m.dark = down;
+  // Deaf, not powered off: an in-flight MAC attempt may still hit the
+  // radio, and set_deaf is the replay-friendly fault (no RNG perturbation).
+  m.radio->set_deaf(down);
+  if (!down && !m.armed) {
+    RngStream& rng = c.lp->sim().rng();
+    const SimTime gap = 1 + static_cast<SimTime>(rng.uniform_below(
+                                static_cast<std::uint64_t>(
+                                    cfg_.beacon_period)));
+    arm_beacon(cell, mote, gap);
+  }
+}
+
+void CellWorld::plan_faults() {
+  // Random schedule from the control-plane stream, then any explicit
+  // (replayed) faults. Times are clamped so every fault can be announced
+  // one lookahead ahead of landing.
+  RngStream& rng = control_->sim().rng();
+  for (std::size_t k = 0; k < cfg_.random_faults; ++k) {
+    FaultSpec f;
+    f.cell = static_cast<std::uint32_t>(rng.uniform_below(cfg_.cells));
+    f.mote =
+        static_cast<std::uint32_t>(rng.uniform_below(cfg_.motes_per_cell));
+    f.down_at = static_cast<SimTime>(rng.uniform_below(
+        static_cast<std::uint64_t>(cfg_.duration / 2)));
+    f.up_at = f.down_at + 1 +
+              static_cast<SimTime>(rng.uniform_below(
+                  static_cast<std::uint64_t>(cfg_.duration / 4)));
+    planned_faults_.push_back(f);
+  }
+  for (const FaultSpec& f : cfg_.faults) planned_faults_.push_back(f);
+
+  for (FaultSpec& f : planned_faults_) {
+    f.down_at = std::max(f.down_at, cfg_.cross_cell_delay);
+    f.up_at = std::max(f.up_at, f.down_at + 1);
+    TCAST_CHECK(f.cell < cfg_.cells);
+    TCAST_CHECK(f.mote < cfg_.motes_per_cell);
+    // The control plane announces each edge exactly one lookahead before it
+    // lands on the owning cell, from inside its own event (post's lookahead
+    // contract is checked against the announcing LP's clock).
+    const FaultSpec spec = f;
+    control_->sim().schedule_at(
+        spec.down_at - cfg_.cross_cell_delay, [this, spec] {
+          kernel_.post(*control_, *cells_[spec.cell].lp, spec.down_at, 0,
+                       [this, spec] {
+                         apply_fault(spec.cell, spec.mote, true);
+                       });
+        });
+    control_->sim().schedule_at(
+        spec.up_at - cfg_.cross_cell_delay, [this, spec] {
+          kernel_.post(*control_, *cells_[spec.cell].lp, spec.up_at, 0,
+                       [this, spec] {
+                         apply_fault(spec.cell, spec.mote, false);
+                       });
+        });
+  }
+}
+
+std::size_t CellWorld::run() { return kernel_.run_until(cfg_.duration); }
+
+WorldDigest CellWorld::digest() {
+  WorldDigest d;
+  d.cells.reserve(cells_.size());
+  for (Cell& c : cells_) {
+    CellDigest cd;
+    for (const Mote& m : c.motes) {
+      cd.frames_sent += m.mac->frames_sent();
+      cd.frames_dropped += m.mac->frames_dropped();
+      cd.frames_received += m.radio->frames_received();
+    }
+    cd.clusters = c.channel->clusters_resolved();
+    cd.clock = c.lp->sim().now();
+    RngStream probe = c.lp->sim().rng();  // copy: forks the stream
+    cd.rng_probe = probe.bits();
+    d.cells.push_back(cd);
+    d.faults.insert(d.faults.end(), c.fault_log.begin(), c.fault_log.end());
+  }
+  std::sort(d.faults.begin(), d.faults.end(),
+            [](const AppliedFault& a, const AppliedFault& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.cell != b.cell) return a.cell < b.cell;
+              if (a.mote != b.mote) return a.mote < b.mote;
+              return a.down && !b.down;
+            });
+  d.events = kernel_.stats().events;
+  d.messages = kernel_.stats().messages;
+  return d;
+}
+
+}  // namespace tcast::sim::parallel

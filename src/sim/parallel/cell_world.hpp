@@ -1,0 +1,159 @@
+// LP-sharded packet world: a ring of spatial cells, one LogicalProcess per
+// cell, plus a control-plane LP that injects faults.
+//
+// Each cell owns a full packet-tier stack on its LP-local simulator: a
+// radio::Channel, `motes_per_cell` motes (Radio + CsmaMac) sending jittered
+// broadcast beacons. Cells are far enough apart that only *adjacent* cells
+// hear each other, and with non-zero propagation + slot-boundary delay: a
+// transmission starting in cell i is mirrored into cells i±1 as a ghost
+// transmission (radio::Channel::inject_transmission) `cross_cell_delay`
+// later. That physical delay is exactly the conservative lookahead of the
+// i↔i±1 links, so the kernel can let distant cells run far apart in sim
+// time while neighbours stay within one frame of each other.
+//
+// The control-plane LP (rank 0) owns fault injection: crash/reboot events
+// are generated from the world seed (or supplied explicitly for replay) and
+// *routed to the owning cell* as cross-LP events — a crashed mote goes deaf
+// (radio::Radio::set_deaf) and stops beaconing until its reboot arrives.
+// Every applied fault is logged LP-locally with its execution time, so a
+// replay run driven by the logged schedule must reproduce the log — and the
+// whole digest — bit-for-bit.
+//
+// WorldDigest captures everything the determinism suite compares across
+// worker counts: per-cell traffic counters, channel busy periods, final
+// clocks, the next raw RNG word of every cell stream, the merged fault log,
+// and the kernel's event/message totals. Two runs of the same config are
+// correct iff their digests compare equal — under any ThreadPool size,
+// including none.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/types.hpp"
+#include "mac/csma.hpp"
+#include "radio/channel.hpp"
+#include "radio/radio.hpp"
+#include "sim/parallel/kernel.hpp"
+
+namespace tcast::sim::parallel {
+
+/// One planned crash/reboot: mote `mote` of cell `cell` goes dark over
+/// [down_at, up_at). Times are clamped so the control plane can announce
+/// them within its lookahead.
+struct FaultSpec {
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+  std::uint32_t cell = 0;
+  std::uint32_t mote = 0;
+  bool operator==(const FaultSpec&) const = default;
+};
+
+/// A fault as it actually landed on the owning LP (down and up separately).
+struct AppliedFault {
+  SimTime time = 0;
+  std::uint32_t cell = 0;
+  std::uint32_t mote = 0;
+  bool down = false;
+  bool operator==(const AppliedFault&) const = default;
+};
+
+struct CellDigest {
+  std::uint64_t frames_sent = 0;     ///< MAC transmissions across the cell
+  std::uint64_t frames_dropped = 0;  ///< MAC backoff-exhaustion drops
+  std::uint64_t frames_received = 0; ///< address-accepted deliveries
+  std::uint64_t clusters = 0;        ///< channel busy periods resolved
+  SimTime clock = 0;                 ///< LP clock after the run
+  std::uint64_t rng_probe = 0;       ///< next raw word of the cell stream
+  bool operator==(const CellDigest&) const = default;
+};
+
+struct WorldDigest {
+  std::vector<CellDigest> cells;
+  std::vector<AppliedFault> faults;  ///< merged, (time, cell, mote) order
+  std::uint64_t events = 0;          ///< kernel total events executed
+  std::uint64_t messages = 0;        ///< kernel cross-LP messages routed
+  bool operator==(const WorldDigest&) const = default;
+};
+
+struct CellWorldConfig {
+  std::size_t cells = 4;
+  std::size_t motes_per_cell = 8;
+  std::uint64_t seed = 1;
+  /// Sim-time horizon run() drives to (beacons are perpetual).
+  SimTime duration = 200 * kMillisecond;
+  /// Mean beacon spacing per mote; actual gaps are period/2 + U[0, period).
+  SimTime beacon_period = 20 * kMillisecond;
+  /// Propagation + slot-boundary delay between adjacent cells — the
+  /// conservative lookahead of every cross-cell link (802.15.4 backoff
+  /// slot by default).
+  SimTime cross_cell_delay = 320 * kMicrosecond;
+  double clean_loss = 0.0;  ///< i.i.d. per-receiver loss inside a cell
+  /// Crash/reboot pairs drawn from the control-plane stream.
+  std::size_t random_faults = 0;
+  /// Explicit fault schedule (appended after the random ones) — how a
+  /// replay run reproduces a previously logged campaign.
+  std::vector<FaultSpec> faults;
+  /// Worker pool for the kernel; nullptr = inline sequential reference.
+  ThreadPool* pool = nullptr;
+};
+
+class CellWorld {
+ public:
+  explicit CellWorld(CellWorldConfig cfg);
+  ~CellWorld();
+
+  CellWorld(const CellWorld&) = delete;
+  CellWorld& operator=(const CellWorld&) = delete;
+
+  /// Drives the world to cfg.duration. Returns events executed.
+  std::size_t run();
+
+  /// Everything the determinism suite compares (probes the RNG streams, so
+  /// take it once, after run()).
+  WorldDigest digest();
+
+  /// The full planned schedule (random + explicit, clamped) — feed back via
+  /// CellWorldConfig::faults to replay this world's faults exactly.
+  const std::vector<FaultSpec>& planned_faults() const {
+    return planned_faults_;
+  }
+
+  const KernelStats& stats() const { return kernel_.stats(); }
+  ParallelKernel& kernel() { return kernel_; }
+
+ private:
+  struct Mote {
+    std::unique_ptr<radio::Radio> radio;
+    std::unique_ptr<mac::CsmaMac> mac;
+    std::uint8_t seq = 0;
+    bool dark = false;   ///< crashed: deaf and not beaconing
+    bool armed = false;  ///< a beacon event is pending
+  };
+
+  struct Cell {
+    LogicalProcess* lp = nullptr;
+    std::unique_ptr<radio::Channel> channel;
+    std::vector<Mote> motes;
+    std::vector<AppliedFault> fault_log;  ///< LP-local; merged in digest()
+  };
+
+  radio::ShortAddr addr(std::size_t cell, std::size_t mote) const {
+    return static_cast<radio::ShortAddr>(cell * cfg_.motes_per_cell + mote +
+                                         1);
+  }
+  void arm_beacon(std::size_t cell, std::size_t mote, SimTime gap);
+  void beacon_fire(std::size_t cell, std::size_t mote);
+  void apply_fault(std::size_t cell, std::size_t mote, bool down);
+  void plan_faults();
+
+  CellWorldConfig cfg_;
+  ParallelKernel kernel_;
+  LogicalProcess* control_ = nullptr;
+  std::vector<Cell> cells_;
+  std::vector<FaultSpec> planned_faults_;
+};
+
+}  // namespace tcast::sim::parallel

@@ -11,6 +11,12 @@ EventId Simulator::schedule_at(SimTime t, EventFn fn) {
   return queue_.schedule(t, std::move(fn));
 }
 
+EventId Simulator::schedule_at(SimTime t, EventPriority priority,
+                               EventFn fn) {
+  TCAST_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  return queue_.schedule(t, priority, std::move(fn));
+}
+
 EventId Simulator::schedule_after(SimTime delay, EventFn fn) {
   TCAST_CHECK(delay >= 0);
   return queue_.schedule(now_ + delay, std::move(fn));
@@ -44,6 +50,29 @@ std::size_t Simulator::run_until(SimTime deadline) {
 
 std::size_t Simulator::run_steps(std::size_t max_events) {
   return drain(std::numeric_limits<SimTime>::max(), max_events);
+}
+
+std::size_t Simulator::run_before(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() < horizon) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::run_before_flag(SimTime horizon,
+                                       const std::function<bool()>& done) {
+  std::size_t executed = 0;
+  while (!done() && !queue_.empty() && queue_.next_time() < horizon) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    fired.fn();
+    ++executed;
+  }
+  return executed;
 }
 
 std::size_t Simulator::run_until_flag(const std::function<bool()>& done,

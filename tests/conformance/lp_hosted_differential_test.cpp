@@ -1,0 +1,114 @@
+// Registry-wide differential: every packet-tier chaos session must be
+// bit-identical between the scalar single-queue simulator path and the
+// LP-hosted parallel-kernel path (PacketChannel::Config::lp_hosted). The
+// hosted world runs the identical event schedule through the kernel's
+// conservative windows — same outcome, same query counts, same recorded
+// fault trace, same RNG probes — and a trace recorded on either path
+// replays faithfully on the other.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.hpp"
+#include "core/registry.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace tcast::chaos {
+namespace {
+
+ChaosScenario packet_scenario(const std::string& algorithm, std::size_t n,
+                              std::size_t x, std::size_t t,
+                              std::uint64_t seed) {
+  ChaosScenario sc;
+  sc.algorithm = algorithm;
+  sc.n = n;
+  sc.x = x;
+  sc.t = t;
+  sc.tier = Tier::kPacket;
+  sc.seed = seed;
+  return sc;
+}
+
+void expect_reports_identical(const SessionReport& a, const SessionReport& b,
+                              const std::string& context) {
+  EXPECT_EQ(a.outcome.decision, b.outcome.decision) << context;
+  EXPECT_EQ(a.outcome.queries, b.outcome.queries) << context;
+  EXPECT_EQ(a.outcome.rounds, b.outcome.rounds) << context;
+  EXPECT_EQ(a.outcome.retries, b.outcome.retries) << context;
+  EXPECT_EQ(a.outcome.faults_seen, b.outcome.faults_seen) << context;
+  EXPECT_EQ(a.trace, b.trace) << context;
+  EXPECT_EQ(a.algo_rng_probe, b.algo_rng_probe) << context;
+  EXPECT_EQ(a.channel_rng_probe, b.channel_rng_probe) << context;
+  EXPECT_EQ(a.violations.size(), b.violations.size()) << context;
+}
+
+TEST(LpHostedDifferential, EveryAlgorithmBitIdenticalHostedVsScalar) {
+  std::uint64_t seed = 0x10AD;
+  for (const core::AlgorithmSpec& spec : core::algorithm_registry()) {
+    if (spec.needs_oracle) continue;  // oracle baselines aren't chaos subjects
+    for (const std::size_t x : {std::size_t{1}, std::size_t{5}}) {
+      ChaosScenario direct = packet_scenario(spec.name, 8, x, 3, ++seed);
+      ChaosScenario hosted = direct;
+      hosted.lp_hosted = true;
+
+      const SessionReport rd = run_session(direct);
+      const SessionReport rh = run_session(hosted);
+      expect_reports_identical(rd, rh, spec.name + " x=" + std::to_string(x));
+      EXPECT_TRUE(rd.ok()) << spec.name;
+      EXPECT_TRUE(rh.ok()) << spec.name;
+    }
+  }
+}
+
+TEST(LpHostedDifferential, BitIdenticalUnderFaultPlans) {
+  // The same parity must hold with fault injection live — crash/reboot and
+  // loss schedules recorded on one path must be drawn and applied
+  // identically on the other (the fault RNG never touches the simulator).
+  std::uint64_t seed = 0xFA17;
+  const auto plans = default_plan_grid(/*seed=*/21);
+  ASSERT_GT(plans.size(), 2u);
+  for (const auto& plan : plans) {
+    ChaosScenario direct = packet_scenario("2tbins", 8, 5, 4, ++seed);
+    direct.plan = plan;
+    ChaosScenario hosted = direct;
+    hosted.lp_hosted = true;
+
+    const SessionReport rd = run_session(direct);
+    const SessionReport rh = run_session(hosted);
+    expect_reports_identical(rd, rh, "plan=" + plan.to_spec());
+  }
+}
+
+TEST(LpHostedDifferential, TraceRecordedOnOnePathReplaysOnTheOther) {
+  std::uint64_t seed = 0x2EC0;
+  const auto plans = default_plan_grid(/*seed=*/33);
+  for (const core::AlgorithmSpec& spec : core::algorithm_registry()) {
+    if (spec.needs_oracle) continue;
+    ChaosScenario direct = packet_scenario(spec.name, 8, 4, 3, ++seed);
+    direct.plan = plans[1 + (seed % (plans.size() - 1))];
+    ChaosScenario hosted = direct;
+    hosted.lp_hosted = true;
+
+    // Record on the scalar path, replay on the hosted path (and back).
+    const SessionReport recorded = run_session(direct);
+    const SessionReport on_hosted = replay_session(hosted, recorded.trace);
+    expect_reports_identical(recorded, on_hosted, spec.name + " d->h");
+
+    const SessionReport recorded_h = run_session(hosted);
+    const SessionReport on_direct = replay_session(direct, recorded_h.trace);
+    expect_reports_identical(recorded_h, on_direct, spec.name + " h->d");
+  }
+}
+
+TEST(LpHostedDifferential, SpecRoundTripsLpFlag) {
+  ChaosScenario sc = packet_scenario("2tbins", 8, 4, 3, 5);
+  sc.lp_hosted = true;
+  const auto parsed = ChaosScenario::parse(sc.spec());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, sc);
+  EXPECT_TRUE(parsed->lp_hosted);
+}
+
+}  // namespace
+}  // namespace tcast::chaos

@@ -166,6 +166,108 @@ TEST(EventQueue, RandomizedInterleavingsMatchMultisetOracle) {
   EXPECT_TRUE(q.empty());
 }
 
+// The parallel kernel's usage pattern, stressed against the oracle: one
+// queue per LP, windows that drain each queue strictly below a horizon,
+// MAC-style cancel+reschedule churn, and sorted cross-LP batch insertion
+// at the window barrier (exactly ParallelKernel::route_outboxes' order).
+// Every pop must still match the per-queue (time, priority, seq) oracle.
+TEST(EventQueue, LpShardedWindowsWithRescheduleChurnMatchOracle) {
+  using Key = std::tuple<SimTime, EventPriority, EventId>;
+  constexpr std::size_t kLps = 4;
+  struct Lp {
+    EventQueue q;
+    std::set<Key> oracle;
+    std::vector<Key> live;  // cancellable (non-barrier) events
+    SimTime now = 0;
+  };
+  std::vector<Lp> lps(kLps);
+  std::mt19937_64 rng(0xC3115u);
+  std::uniform_int_distribution<SimTime> jitter(0, 40);
+  std::uniform_int_distribution<EventPriority> prio_dist(-2, 2);
+
+  const auto seed_events = [&](Lp& lp, int count) {
+    std::uniform_int_distribution<int> churn(0, 3);
+    for (int i = 0; i < count; ++i) {
+      const SimTime t = lp.now + 1 + jitter(rng);
+      const EventPriority p = prio_dist(rng);
+      const EventId id = lp.q.schedule(t, p, [] {});
+      lp.oracle.insert(Key{t, p, id});
+      lp.live.push_back(Key{t, p, id});
+      // ~1 in 4 scheduled events is immediately rescheduled (the CSMA
+      // backoff-restart pattern): cancel, then re-enter at a new time.
+      if (churn(rng) == 0) {
+        lp.oracle.erase(Key{t, p, id});
+        lp.live.pop_back();
+        ASSERT_TRUE(lp.q.cancel(id));
+        const SimTime t2 = lp.now + 1 + jitter(rng);
+        const EventId id2 = lp.q.schedule(t2, p, [] {});
+        lp.oracle.insert(Key{t2, p, id2});
+        lp.live.push_back(Key{t2, p, id2});
+      }
+    }
+  };
+  for (Lp& lp : lps) seed_events(lp, 40);
+
+  for (int window = 0; window < 60; ++window) {
+    // Per-LP horizon, as compute_horizons would hand out.
+    for (Lp& lp : lps) {
+      const SimTime horizon = lp.now + 15;
+      while (!lp.q.empty() && lp.q.next_time() < horizon) {
+        const Key expected = *lp.oracle.begin();
+        const auto fired = lp.q.pop();
+        ASSERT_EQ(fired.time, std::get<0>(expected));
+        ASSERT_EQ(fired.id, std::get<2>(expected));
+        lp.oracle.erase(lp.oracle.begin());
+        std::erase_if(lp.live,
+                      [&](const Key& k) { return std::get<2>(k) == fired.id; });
+        lp.now = fired.time;
+        // Occasionally cancel a random still-live event mid-drain (a
+        // reply arriving kills the pending timeout).
+        if (!lp.live.empty() && jitter(rng) < 8) {
+          std::uniform_int_distribution<std::size_t> pick(0,
+                                                          lp.live.size() - 1);
+          const Key victim = lp.live[pick(rng)];
+          ASSERT_TRUE(lp.q.cancel(std::get<2>(victim)));
+          lp.oracle.erase(victim);
+          std::erase_if(lp.live, [&](const Key& k) { return k == victim; });
+        }
+      }
+      lp.now = horizon;
+    }
+    // Barrier: each LP receives a batch of cross-LP messages, sorted by
+    // (time, priority) before insertion — schedule order then supplies
+    // the deterministic seq tie-break, as route_outboxes relies on.
+    for (std::size_t dst = 0; dst < kLps; ++dst) {
+      Lp& lp = lps[dst];
+      std::vector<std::pair<SimTime, EventPriority>> batch;
+      std::uniform_int_distribution<int> batch_size(0, 5);
+      for (int i = batch_size(rng); i > 0; --i)
+        batch.emplace_back(lp.now + 1 + jitter(rng), prio_dist(rng));
+      std::sort(batch.begin(), batch.end());
+      for (const auto& [t, p] : batch) {
+        const EventId id = lp.q.schedule(t, p, [] {});
+        lp.oracle.insert(Key{t, p, id});
+        lp.live.push_back(Key{t, p, id});
+      }
+    }
+    // Background churn keeps every queue busy across windows.
+    for (Lp& lp : lps) seed_events(lp, 3);
+  }
+
+  // Final drain: full pop order equals the oracle order on every LP.
+  for (Lp& lp : lps) {
+    ASSERT_EQ(lp.q.size(), lp.oracle.size());
+    while (!lp.oracle.empty()) {
+      const Key expected = *lp.oracle.begin();
+      const auto fired = lp.q.pop();
+      ASSERT_EQ(fired.time, std::get<0>(expected));
+      ASSERT_EQ(fired.id, std::get<2>(expected));
+      lp.oracle.erase(lp.oracle.begin());
+    }
+    EXPECT_TRUE(lp.q.empty());
+  }
+}
+
 TEST(EventQueue, InterleavedCancelAndPop) {
   EventQueue q;
   std::vector<int> fired;

@@ -86,6 +86,37 @@ def latency_by_name(report):
     return out
 
 
+def counters_by_name(report):
+    """Maps "bench [llc_misses]"-style metric names to hardware-counter
+    values (the optional `counters` object on core/ and sim/ benchmarks).
+    Informational only — counters are absent wherever perf_event_open is
+    denied and vary wildly across microarchitectures, so they are NEVER
+    gated; the comparison table just makes cache/branch behaviour drift
+    visible next to the throughput it explains."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name")
+        counters = bench.get("counters") or {}
+        if not name:
+            continue
+        for key in sorted(counters):
+            value = counters[key]
+            if value > 0.0:
+                out[f"{name} [{key}]"] = value
+    return out
+
+
+def host_summary(report, label):
+    """One line of topology context: scaling benchmarks (sim/parallel/*)
+    are meaningless without knowing how many CPUs the run could actually
+    schedule on."""
+    host = report.get("host") or {}
+    threads = int(host.get("hardware_threads", 0))
+    affinity = int(host.get("affinity_cpus", 0))
+    return (f"  {label}: hardware_threads={threads or '?'} "
+            f"affinity_cpus={affinity or '?'}")
+
+
 def skipped_names(report):
     """Benchmark entries present in the report that contributed no gated
     metric at all — no usable throughput and no gated percentile. These
@@ -246,6 +277,10 @@ def main(argv=None):
               f"vs current quick={current.get('quick')}; workload sizes "
               "differ, throughput comparison is still scale-free but noisier")
 
+    print("compare_bench: host topology")
+    print(host_summary(baseline, "baseline"))
+    print(host_summary(current, "current"))
+
     rows = compare(throughput_by_name(baseline), throughput_by_name(current),
                    args.max_regression, args.min_improvement)
     # Baseline entries with no usable metric get a row UNCONDITIONALLY (in
@@ -263,6 +298,21 @@ def main(argv=None):
         print(render_text(latency_rows, args.max_latency_regression,
                           args.min_improvement, unit="us"))
 
+    # Hardware counters ride along purely informationally: every status is
+    # forced to "ok" so the gate can never see a counter row, whatever the
+    # drift — see counters_by_name().
+    counter_rows = [
+        (name, base_v, cur_v, ratio,
+         STATUS_OK if status in (STATUS_REGRESSION, STATUS_IMPROVED,
+                                 STATUS_OK) else status)
+        for name, base_v, cur_v, ratio, status in compare_latency(
+            counters_by_name(baseline), counters_by_name(current),
+            args.max_latency_regression, args.min_improvement)]
+    if counter_rows:
+        print("\n  hardware counters (informational, never gated):")
+        print(render_text(counter_rows, args.max_latency_regression,
+                          args.min_improvement, unit="count"))
+
     if args.summary_out:
         with open(args.summary_out, "a", encoding="utf-8") as f:
             f.write(render_markdown(rows) + "\n")
@@ -270,6 +320,10 @@ def main(argv=None):
                 f.write(render_markdown(latency_rows, unit="us",
                                         title="Tail latency comparison") +
                         "\n")
+            if counter_rows:
+                f.write(render_markdown(
+                    counter_rows, unit="count",
+                    title="Hardware counters (informational)") + "\n")
 
     improved = sum(1 for r in rows + latency_rows
                    if r[4] == STATUS_IMPROVED)
